@@ -1,0 +1,20 @@
+//! Regenerates Fig 2: Bloch-sphere trajectory of a qubit driven by a
+//! resonant SFQ pulse train (blue) vs free evolution (orange).
+use qsim::pulse::{SfqParams, SfqPulseSim};
+use qsim::transmon::Transmon;
+
+fn main() {
+    let sim = SfqPulseSim::new(Transmon::new(6.21286), SfqParams::default());
+    let driven = sim.resonant_comb(16);
+    println!("# driven trajectory: tick x y z   (one SFQ pulse per qubit period)");
+    for (k, (x, y, z)) in sim.bloch_trajectory(&driven).iter().enumerate() {
+        println!("D {k:4} {x:+.5} {y:+.5} {z:+.5}");
+    }
+    let free = vec![false; 16];
+    println!("# free evolution: tick x y z   (constant z, xy precession)");
+    let mut prefixed = vec![true];
+    prefixed.extend_from_slice(&free);
+    for (k, (x, y, z)) in sim.bloch_trajectory(&prefixed).iter().enumerate() {
+        println!("F {k:4} {x:+.5} {y:+.5} {z:+.5}");
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig 7: CZ gate error as a function of per-qubit frequency
+//! drift for echo sequences of 1, 2 and 3 Uqq pulses (ideal 1q gates).
+//!
+//! Default: 5×5 drift grid ±6 MHz (runtime ~minutes). `--small`: 3×3.
+use calib::cz::{calibrate_shared_pulse, fig7_panel};
+use qsim::two_qubit::CoupledTransmons;
+
+fn main() {
+    let grid = if digiq_bench::has_flag("--small") { 3 } else { 5 };
+    let pulses_max = if digiq_bench::has_flag("--small") { 2 } else { 3 };
+    let pair = CoupledTransmons::paper_pair(6.21286, 4.14238);
+    let pulse = calibrate_shared_pulse(&pair, 4.0, 0.25);
+    println!("# calibrated shared pulse: nominal CZ error {:.2e} (paper ~3e-4)", pulse.nominal_error);
+    for n in 1..=pulses_max {
+        println!("# panel {n}: {n} Uqq pulse(s); columns: drift1(GHz) drift2(GHz) error");
+        for p in fig7_panel(&pair, &pulse, n, 0.006, grid, 3) {
+            println!("{n} {:+.4} {:+.4} {:.3e}", p.drift1_ghz, p.drift2_ghz, p.error);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Fig 9: execution time of the Table IV benchmarks on each
+//! DigiQ configuration, normalized to the Impossible MIMD baseline.
+//!
+//! Default runs the full paper-scale benchmarks on the 32×32 grid
+//! (~minutes, release build recommended).
+use digiq_core::design::ControllerDesign;
+use digiq_core::system::DigiqSystem;
+use sfq_hw::cost::CostModel;
+
+fn main() {
+    let model = CostModel::default();
+    let designs = [
+        ControllerDesign::DigiqMin { bs: 2 },
+        ControllerDesign::DigiqMin { bs: 4 },
+        ControllerDesign::DigiqOpt { bs: 4 },
+        ControllerDesign::DigiqOpt { bs: 8 },
+        ControllerDesign::DigiqOpt { bs: 16 },
+    ];
+    println!("Fig 9: execution time normalized to Impossible MIMD (1,024 qubits, 32x32 grid)");
+    digiq_bench::rule(96);
+    print!("{:18}", "design");
+    for b in qcircuit::bench::ALL_BENCHMARKS {
+        print!(" | {:>9}", b.name());
+    }
+    println!();
+    digiq_bench::rule(96);
+    for design in designs {
+        let system = DigiqSystem::build(design, 2, &model);
+        print!("{:18}", design.to_string());
+        for bench in qcircuit::bench::ALL_BENCHMARKS {
+            let r = system.evaluate_benchmark(bench);
+            print!(" | {:>9.2}", r.normalized_time);
+        }
+        println!();
+    }
+    println!();
+    println!("paper: DigiQ_opt(BS=16) 4.7–9.8x; DigiQ_min(BS=4) 11.0–14.4x; outliers up to 36.9x");
+}

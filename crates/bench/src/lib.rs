@@ -1,0 +1,51 @@
+//! # digiq-bench — harnesses regenerating every DigiQ table and figure
+//!
+//! Each binary prints the rows/series of one paper artifact; run them all
+//! with `cargo run -p digiq-bench --release --bin <name>`:
+//!
+//! | Binary              | Artifact |
+//! |---------------------|----------|
+//! | `table1_design_space` | Table I (design space) |
+//! | `table2_parking`      | Table II (parking frequencies + drift tolerance) |
+//! | `table3_cells`        | Table III (RSFQ cell library) |
+//! | `fig2_trajectory`     | Fig 2 (SFQ-driven Bloch trajectory) |
+//! | `fig3_cycle`          | Fig 3 (one DigiQ_opt controller cycle) |
+//! | `fig4_waveform`       | Fig 4b (current-generator transient) |
+//! | `fig7_cz_error`       | Fig 7 (CZ error vs drift, 1–3 pulses) |
+//! | `fig8_synthesis`      | Fig 8a/b/c (power, area, cables) + §VI-A2 delay |
+//! | `fig9_exec_time`      | Fig 9 (normalized execution time) |
+//! | `fig10_gate_error`    | Fig 10a/b (per-qubit and per-coupler errors) |
+//! | `scalability`         | §VI-A3 (max qubits at 10 W) |
+//!
+//! Heavier harnesses accept `--small` / `--full` to trade fidelity for
+//! runtime (defaults regenerate a faithful reduced grid; `--full` matches
+//! paper scale). The `benches/` directory holds criterion kernels for the
+//! computational hot paths.
+
+/// Parses a `--flag` style boolean from argv.
+pub fn has_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// Parses `--key value` from argv.
+pub fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Prints a rule line for table output.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_do_not_panic() {
+        assert!(!super::has_flag("--definitely-not-set"));
+        assert!(super::arg_value("--nope").is_none());
+        super::rule(10);
+    }
+}

@@ -1,0 +1,198 @@
+//! Monte-Carlo qubit variability model (§VI-B).
+//!
+//! "Each qubit is modeled as an asymmetric transmon with σ = 0.2%
+//! variability in each of its Josephson energies (sampled from a normal
+//! distribution). At our target frequencies, this corresponds to about
+//! ±6 MHz fluctuation … Hardware variability is considered with the
+//! addition of a σ = 1% error to the output of each current generator."
+//!
+//! Qubits are assigned nominal parking frequencies in a checkerboard over
+//! the grid (neighbouring qubits alternate between the high and low
+//! Table II frequencies so every coupler spans a CZ-compatible pair), then
+//! perturbed junction-by-junction.
+
+use qsim::transmon::AsymmetricTransmon;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The drift/variability parameters of §VI-B.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftModel {
+    /// Relative σ of each Josephson energy (paper: 0.002).
+    pub ej_sigma: f64,
+    /// Relative σ of each current generator's output (paper: 0.01).
+    pub current_sigma: f64,
+    /// Junction asymmetry `d` used for every qubit design.
+    pub asymmetry: f64,
+    /// RNG seed (all sampling is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for DriftModel {
+    fn default() -> Self {
+        DriftModel {
+            ej_sigma: 0.002,
+            current_sigma: 0.01,
+            asymmetry: 0.3,
+            seed: 0xD161_D21F,
+        }
+    }
+}
+
+/// One sampled physical qubit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledQubit {
+    /// Physical index.
+    pub index: usize,
+    /// Designed (parking) frequency in GHz.
+    pub nominal_ghz: f64,
+    /// Actual frequency after junction variation, in GHz.
+    pub actual_ghz: f64,
+    /// Relative scale applied to this qubit's current generator.
+    pub current_scale: f64,
+}
+
+impl SampledQubit {
+    /// Frequency drift `actual − nominal` in GHz.
+    pub fn drift_ghz(&self) -> f64 {
+        self.actual_ghz - self.nominal_ghz
+    }
+}
+
+/// Standard-normal sample via Box–Muller (keeps us off extra deps).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples a population of qubits with checkerboard parking frequencies.
+///
+/// `parking_ghz` typically holds the two Table II frequencies
+/// `(6.21286, 4.14238)`; qubit `(r, c)` of the grid takes index
+/// `(r + c) % parking_ghz.len()`.
+///
+/// # Panics
+///
+/// Panics if `parking_ghz` is empty.
+pub fn sample_population(
+    grid_cols: usize,
+    n_qubits: usize,
+    parking_ghz: &[f64],
+    model: &DriftModel,
+) -> Vec<SampledQubit> {
+    assert!(!parking_ghz.is_empty());
+    let mut rng = StdRng::seed_from_u64(model.seed);
+    (0..n_qubits)
+        .map(|q| {
+            let (r, c) = (q / grid_cols, q % grid_cols);
+            let nominal = parking_ghz[(r + c) % parking_ghz.len()];
+            let design = AsymmetricTransmon::design(nominal, model.asymmetry, 0.25, 6);
+            let s1 = 1.0 + model.ej_sigma * normal(&mut rng);
+            let s2 = 1.0 + model.ej_sigma * normal(&mut rng);
+            let varied = design.with_ej_variation(s1, s2);
+            let current_scale = 1.0 + model.current_sigma * normal(&mut rng);
+            SampledQubit {
+                index: q,
+                nominal_ghz: nominal,
+                actual_ghz: varied.frequency_at(0.0),
+                current_scale,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population() -> Vec<SampledQubit> {
+        sample_population(32, 1024, &[6.21286, 4.14238], &DriftModel::default())
+    }
+
+    #[test]
+    fn population_size_and_determinism() {
+        let a = population();
+        let b = population();
+        assert_eq!(a.len(), 1024);
+        assert_eq!(a, b, "sampling must be deterministic");
+    }
+
+    #[test]
+    fn checkerboard_assignment() {
+        let p = population();
+        // (0,0) high, (0,1) low, (1,0) low …
+        assert_eq!(p[0].nominal_ghz, 6.21286);
+        assert_eq!(p[1].nominal_ghz, 4.14238);
+        assert_eq!(p[32].nominal_ghz, 4.14238);
+        assert_eq!(p[33].nominal_ghz, 6.21286);
+        // Every grid neighbour pair differs in nominal frequency.
+        for r in 0..32 {
+            for c in 0..31 {
+                let q = r * 32 + c;
+                assert_ne!(p[q].nominal_ghz, p[q + 1].nominal_ghz);
+            }
+        }
+    }
+
+    #[test]
+    fn drift_magnitude_matches_paper() {
+        // σ = 0.2% EJ ⇒ ~±6 MHz at 6.2 GHz: the sample std-dev of the
+        // drift over high-frequency qubits should be ≈ 4–6 MHz, and the
+        // spread should stay within ~±20 MHz.
+        let p = population();
+        let drifts: Vec<f64> = p
+            .iter()
+            .filter(|q| q.nominal_ghz > 5.0)
+            .map(|q| q.drift_ghz() * 1e3) // MHz
+            .collect();
+        let mean = drifts.iter().sum::<f64>() / drifts.len() as f64;
+        let var =
+            drifts.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / drifts.len() as f64;
+        let std = var.sqrt();
+        assert!(
+            (2.0..8.0).contains(&std),
+            "drift std {std:.2} MHz outside the paper's ±6 MHz scale"
+        );
+        assert!(drifts.iter().all(|d| d.abs() < 25.0));
+    }
+
+    #[test]
+    fn current_scales_are_near_unity() {
+        let p = population();
+        let scales: Vec<f64> = p.iter().map(|q| q.current_scale).collect();
+        let mean = scales.iter().sum::<f64>() / scales.len() as f64;
+        assert!((mean - 1.0).abs() < 0.005);
+        let var =
+            scales.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scales.len() as f64;
+        assert!((var.sqrt() - 0.01).abs() < 0.005, "σ = {}", var.sqrt());
+    }
+
+    #[test]
+    fn seeds_change_samples() {
+        let a = population();
+        let b = sample_population(
+            32,
+            1024,
+            &[6.21286, 4.14238],
+            &DriftModel {
+                seed: 99,
+                ..DriftModel::default()
+            },
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn three_colour_population_works() {
+        // Table II has three parking frequencies; a 3-colouring is also
+        // supported.
+        let p = sample_population(
+            32,
+            96,
+            &[6.21286, 5.02978, 4.14238],
+            &DriftModel::default(),
+        );
+        assert!(p.iter().any(|q| q.nominal_ghz == 5.02978));
+    }
+}

@@ -1,0 +1,33 @@
+//! # calib — software calibration layer for DigiQ (§V)
+//!
+//! SIMD control hardware cannot shape pulses per qubit; DigiQ moves gate
+//! calibration into software. This crate implements the full §V pipeline:
+//!
+//! 1. [`bitstream`] — find shared SFQ bitstreams for the basis gates
+//!    (step 1 of §V-A; genetic search seeded with constructive pulse
+//!    combs);
+//! 2. [`drift`] — the Monte-Carlo qubit population of §VI-B (σ = 0.2%
+//!    Josephson-energy variation, σ = 1% current error);
+//! 3. [`parking`] — the delay-phase coverage analysis behind Table II;
+//! 4. [`opt_decomp`] — per-qubit delay-tuple decomposition for DigiQ_opt
+//!    (`L ≤ 3` Ubs firings with closed-form boundary rotations);
+//! 5. [`min_decomp`] — per-qubit meet-in-the-middle sequence search for
+//!    DigiQ_min (depth ≤ 28);
+//! 6. [`cz`] — CZ composition from 1–3 shared `Uqq` pulses with optimized
+//!    interleaved single-qubit gates (Fig 7).
+//!
+//! Everything is deterministic given seeds, so every figure regenerates
+//! bit-identically.
+
+pub mod bitstream;
+pub mod cz;
+pub mod drift;
+pub mod min_decomp;
+pub mod opt_decomp;
+pub mod parking;
+
+pub use bitstream::{find_bitstream, BitstreamResult, SearchConfig, ZFreedom};
+pub use drift::{sample_population, DriftModel, SampledQubit};
+pub use min_decomp::{decompose_min, MinBasis, MinDecomposition, SequenceDb};
+pub use opt_decomp::{decompose_opt, OptBasis, OptDecomposition};
+pub use parking::{parking_search, ParkingFrequency};

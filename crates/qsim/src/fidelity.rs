@@ -1,0 +1,182 @@
+//! Gate and state fidelity measures with leakage accounting.
+//!
+//! DigiQ (§V) reports gate errors as `ε = 1 − F̄` where `F̄` is the *average
+//! gate fidelity* of the evolution projected onto the computational
+//! subspace. Projection makes the evolution sub-unitary, and the standard
+//! formula (Nielsen [44], extended to non-unitary maps by Ghosh/Pedersen
+//! [45]) then automatically counts leakage out of the subspace as error:
+//!
+//! ```text
+//! F̄(M, V) = [ Tr(M†M) + |Tr(V†M)|² ] / (d(d+1))
+//! ```
+//!
+//! with `M` the projected evolution, `V` the `d × d` unitary target.
+//!
+//! # Examples
+//!
+//! ```
+//! use qsim::gates;
+//! use qsim::fidelity::average_gate_fidelity;
+//!
+//! let f = average_gate_fidelity(&gates::x(), &gates::x());
+//! assert!((f - 1.0).abs() < 1e-12);
+//! ```
+
+use crate::complex::C64;
+use crate::matrix::CMat;
+
+/// Average gate fidelity of (possibly sub-unitary) evolution `m` against
+/// unitary target `v`, both `d × d`.
+///
+/// Returns a value in `[0, 1]`; equals 1 iff `m = e^{iφ}·v`.
+///
+/// # Panics
+///
+/// Panics if shapes differ or are not square.
+pub fn average_gate_fidelity(m: &CMat, v: &CMat) -> f64 {
+    assert!(m.is_square() && v.is_square());
+    assert_eq!(m.rows(), v.rows(), "fidelity: dimension mismatch");
+    let d = m.rows() as f64;
+    let mdm = m.dagger().matmul(m).trace().re;
+    let ov = v.dagger().matmul(m).trace().abs2();
+    ((mdm + ov) / (d * (d + 1.0))).clamp(0.0, 1.0)
+}
+
+/// Average gate **error** `ε = 1 − F̄`, the quantity plotted throughout the
+/// paper's evaluation (Figs 7 and 10).
+pub fn average_gate_error(m: &CMat, v: &CMat) -> f64 {
+    1.0 - average_gate_fidelity(m, v)
+}
+
+/// Leakage of a projected evolution: `1 − Tr(M†M)/d`, the average
+/// population escaping the computational subspace.
+///
+/// Zero for exactly unitary `M`; positive once amplitude leaks to higher
+/// levels.
+///
+/// # Panics
+///
+/// Panics if `m` is not square.
+pub fn leakage(m: &CMat) -> f64 {
+    assert!(m.is_square());
+    let d = m.rows() as f64;
+    (1.0 - m.dagger().matmul(m).trace().re / d).max(0.0)
+}
+
+/// State overlap fidelity `|⟨a|b⟩|²` for pure states.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn state_fidelity(a: &[C64], b: &[C64]) -> f64 {
+    crate::matrix::inner(a, b).abs2()
+}
+
+/// Entanglement (process) fidelity `|Tr(V†M)|²/d²` — related to the average
+/// gate fidelity by `F̄ = (d·F_pro + Tr(M†M)/d) / (d+1)`.
+///
+/// # Panics
+///
+/// Panics if shapes differ or are not square.
+pub fn process_fidelity(m: &CMat, v: &CMat) -> f64 {
+    assert!(m.is_square() && v.is_square());
+    assert_eq!(m.rows(), v.rows());
+    let d = m.rows() as f64;
+    (v.dagger().matmul(m).trace().abs2() / (d * d)).clamp(0.0, 1.0)
+}
+
+/// Combines per-gate errors into a circuit error estimate by fidelity
+/// product: `ε_circuit = 1 − Π(1 − εᵢ)` (paper §VI-B2).
+pub fn circuit_error<I: IntoIterator<Item = f64>>(gate_errors: I) -> f64 {
+    let mut f = 1.0f64;
+    for e in gate_errors {
+        f *= (1.0 - e).clamp(0.0, 1.0);
+    }
+    1.0 - f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+
+    #[test]
+    fn perfect_gate_has_unit_fidelity() {
+        for g in [gates::x(), gates::h(), gates::t(), gates::cz()] {
+            assert!((average_gate_fidelity(&g, &g) - 1.0).abs() < 1e-12);
+            assert!(average_gate_error(&g, &g) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn global_phase_is_ignored() {
+        let g = gates::h();
+        let phased = g.scale(C64::cis(0.917));
+        assert!((average_gate_fidelity(&phased, &g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orthogonal_gates_have_known_fidelity() {
+        // F̄(X, Z) for d=2: Tr(M†M)=2, |Tr(Z†X)|²=0 → F̄ = 2/6 = 1/3.
+        let f = average_gate_fidelity(&gates::x(), &gates::z());
+        assert!((f - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_rotation_error_is_quadratic() {
+        // ε(Rz(δ) vs I) = (2/3)·sin²(δ/2) ≈ δ²/6.
+        for delta in [1e-2, 1e-3, 1e-4] {
+            let e = average_gate_error(&gates::rz(delta), &gates::id2());
+            let expect = (2.0 / 3.0) * (delta / 2.0).sin().powi(2);
+            assert!((e - expect).abs() < 1e-12, "delta={delta}");
+        }
+    }
+
+    #[test]
+    fn leakage_of_unitary_is_zero() {
+        assert!(leakage(&gates::h()) < 1e-12);
+        assert!(leakage(&gates::cz()) < 1e-12);
+    }
+
+    #[test]
+    fn leakage_of_damped_evolution() {
+        // M = diag(1, 0.8): Tr(M†M) = 1.64, leakage = 1 − 0.82 = 0.18.
+        let m = CMat::diag(&[C64::ONE, C64::real(0.8)]);
+        assert!((leakage(&m) - 0.18).abs() < 1e-12);
+        // And fidelity against identity drops accordingly.
+        let f = average_gate_fidelity(&m, &gates::id2());
+        assert!(f < 1.0);
+        assert!(f > 0.8);
+    }
+
+    #[test]
+    fn state_fidelity_basics() {
+        let zero = vec![C64::ONE, C64::ZERO];
+        let one = vec![C64::ZERO, C64::ONE];
+        let plus = vec![C64::real(1.0 / 2f64.sqrt()); 2];
+        assert!((state_fidelity(&zero, &zero) - 1.0).abs() < 1e-12);
+        assert!(state_fidelity(&zero, &one) < 1e-12);
+        assert!((state_fidelity(&zero, &plus) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn process_vs_average_fidelity_relation() {
+        let m = gates::rz(0.3);
+        let v = gates::id2();
+        let d = 2.0;
+        let fpro = process_fidelity(&m, &v);
+        let favg = average_gate_fidelity(&m, &v);
+        let expect = (d * d * fpro / d + 1.0) / (d + 1.0);
+        assert!((favg - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn circuit_error_composition() {
+        assert!(circuit_error([0.0, 0.0]) < 1e-15);
+        let e = circuit_error([0.1, 0.1]);
+        assert!((e - 0.19).abs() < 1e-12);
+        // Small-error regime ≈ sum.
+        let e2 = circuit_error(vec![1e-4; 10]);
+        assert!((e2 - 1e-3).abs() < 1e-5);
+    }
+}

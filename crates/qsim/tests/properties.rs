@@ -1,0 +1,166 @@
+//! Property-based tests for the qsim numerical core.
+//!
+//! These pin down the algebraic invariants every other crate relies on:
+//! unitarity of propagators, spectral-decomposition consistency, fidelity
+//! bounds, and SU(2) group structure.
+
+use proptest::prelude::*;
+use qsim::complex::C64;
+use qsim::eigen::eigh;
+use qsim::expm::expm_hermitian_propagator;
+use qsim::fidelity::{average_gate_fidelity, leakage};
+use qsim::gates::{self, Su2};
+use qsim::matrix::CMat;
+use qsim::pulse::{pack_bits, unpack_bits, SfqParams, SfqPulseSim};
+use qsim::transmon::Transmon;
+
+fn hermitian_strategy(n: usize) -> impl Strategy<Value = CMat> {
+    proptest::collection::vec(-1.0f64..1.0, n * n * 2).prop_map(move |vals| {
+        let g = CMat::from_fn(n, n, |i, j| {
+            let k = (i * n + j) * 2;
+            C64::new(vals[k], vals[k + 1])
+        });
+        let gd = g.dagger();
+        CMat::from_fn(n, n, |i, j| (g[(i, j)] + gd[(i, j)]) * 0.5)
+    })
+}
+
+fn su2_strategy() -> impl Strategy<Value = CMat> {
+    (0.0f64..std::f64::consts::PI, -3.2f64..3.2, -3.2f64..3.2)
+        .prop_map(|(theta, phi, lam)| gates::u_zyz(theta, phi, lam))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_field_axioms(ar in -10.0f64..10.0, ai in -10.0f64..10.0,
+                            br in -10.0f64..10.0, bi in -10.0f64..10.0) {
+        let a = C64::new(ar, ai);
+        let b = C64::new(br, bi);
+        // Commutativity and distributivity.
+        prop_assert!((a * b).approx_eq(b * a, 1e-12));
+        prop_assert!((a + b).approx_eq(b + a, 1e-12));
+        let c = C64::new(1.3, -0.4);
+        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-9));
+        // Conjugation is an involution and multiplicative.
+        prop_assert!(a.conj().conj().approx_eq(a, 0.0));
+        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-9));
+        // |ab| = |a||b|.
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigh_reconstructs_and_is_unitary(h in hermitian_strategy(5)) {
+        let e = eigh(&h);
+        prop_assert!(e.vectors.is_unitary(1e-9));
+        prop_assert!(e.reconstruct().approx_eq(&h, 1e-8));
+        // Eigenvalues sorted ascending.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-10);
+        }
+    }
+
+    #[test]
+    fn propagator_unitary_and_group_law(h in hermitian_strategy(4),
+                                        t1 in 0.0f64..3.0, t2 in 0.0f64..3.0) {
+        let u1 = expm_hermitian_propagator(&h, t1);
+        let u2 = expm_hermitian_propagator(&h, t2);
+        let u12 = expm_hermitian_propagator(&h, t1 + t2);
+        prop_assert!(u1.is_unitary(1e-9));
+        prop_assert!(u2.matmul(&u1).approx_eq(&u12, 1e-8));
+    }
+
+    #[test]
+    fn fidelity_bounds_and_phase_invariance(u in su2_strategy(), v in su2_strategy(),
+                                            phase in 0.0f64..6.28) {
+        let f = average_gate_fidelity(&u, &v);
+        prop_assert!((0.0..=1.0).contains(&f));
+        // Global phase on either argument changes nothing.
+        let fp = average_gate_fidelity(&u.scale(C64::cis(phase)), &v);
+        prop_assert!((f - fp).abs() < 1e-10);
+        // Self-fidelity is 1.
+        prop_assert!((average_gate_fidelity(&u, &u) - 1.0).abs() < 1e-10);
+        // Unitaries have no leakage.
+        prop_assert!(leakage(&u) < 1e-10);
+    }
+
+    #[test]
+    fn su2_group_axioms(a in su2_strategy(), b in su2_strategy()) {
+        let qa = Su2::from_matrix(&a);
+        let qb = Su2::from_matrix(&b);
+        // Composition matches matrix product (up to phase).
+        let qc = qa.compose(qb);
+        let m = a.matmul(&b);
+        prop_assert!(gates::phase_distance(&qc.to_matrix(), &m) < 1e-9);
+        // Inverse law.
+        // The sqrt-based metric amplifies 1e-16 rounding to ~1e-8, hence
+        // the 1e-7 tolerances.
+        prop_assert!(qa.compose(qa.inverse()).distance(Su2::IDENTITY) < 1e-7);
+        // Distance symmetry and identity.
+        prop_assert!((qa.distance(qb) - qb.distance(qa)).abs() < 1e-12);
+        prop_assert!(qa.distance(qa) < 1e-7);
+    }
+
+    #[test]
+    fn zyz_decomposition_roundtrip(u in su2_strategy(), phase in 0.0f64..6.28) {
+        let phased = u.scale(C64::cis(phase));
+        let (theta, phi, lam, g) = gates::zyz_angles(&phased);
+        let rebuilt = gates::u_zyz(theta, phi, lam).scale(C64::cis(g));
+        prop_assert!(rebuilt.approx_eq(&phased, 1e-8),
+                     "err = {}", rebuilt.max_abs_diff(&phased));
+    }
+
+    #[test]
+    fn paper_form_decomposition_roundtrip(u in su2_strategy()) {
+        let (p1, p2, p3) = gates::paper_angles(&u);
+        let rebuilt = gates::u_paper(p3, p2, p1);
+        prop_assert!(gates::phase_distance(&rebuilt, &u) < 1e-8);
+    }
+
+    #[test]
+    fn bitstream_evolution_is_unitary(bits in proptest::collection::vec(any::<bool>(), 1..120),
+                                      freq in 4.0f64..7.0) {
+        let sim = SfqPulseSim::new(Transmon::new(freq), SfqParams::default());
+        let u = sim.frame_gate(&bits);
+        prop_assert!(u.is_unitary(1e-8));
+        // Projected gate never gains norm.
+        let q = sim.frame_gate_qubit(&bits);
+        prop_assert!(leakage(&q) >= -1e-12);
+        let fid = average_gate_fidelity(&q, &gates::id2());
+        prop_assert!((0.0..=1.0).contains(&fid));
+    }
+
+    #[test]
+    fn bitstream_concatenation_composes(b1 in proptest::collection::vec(any::<bool>(), 1..40),
+                                        b2 in proptest::collection::vec(any::<bool>(), 1..40)) {
+        // Frame gates compose with the delay conjugation accounted for:
+        // lab gates compose exactly.
+        let sim = SfqPulseSim::new(Transmon::new(6.21286), SfqParams::default());
+        let mut cat = b1.clone();
+        cat.extend_from_slice(&b2);
+        let lhs = sim.lab_gate(&cat);
+        let rhs = sim.lab_gate(&b2).matmul(&sim.lab_gate(&b1));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn pack_unpack_is_identity(bits in proptest::collection::vec(any::<bool>(), 0..512)) {
+        let packed = pack_bits(&bits);
+        let back = unpack_bits(&packed, bits.len());
+        prop_assert_eq!(bits, back);
+    }
+
+    #[test]
+    fn phase_distance_is_a_pseudometric(a in su2_strategy(), b in su2_strategy(),
+                                        c in su2_strategy()) {
+        let dab = gates::phase_distance(&a, &b);
+        let dba = gates::phase_distance(&b, &a);
+        prop_assert!((dab - dba).abs() < 1e-9);
+        prop_assert!(gates::phase_distance(&a, &a) < 1e-10);
+        // Triangle inequality (with numerical slack).
+        let dac = gates::phase_distance(&a, &c);
+        let dcb = gates::phase_distance(&c, &b);
+        prop_assert!(dab <= dac + dcb + 1e-9);
+    }
+}

@@ -1,0 +1,424 @@
+//! RSFQ synthesis passes: fanout legalization, full path balancing, and
+//! retiming.
+//!
+//! The flow mirrors the paper's §VI-A tooling (PBMap-style path balancing
+//! [17]/[51], Leiserson–Saxe-style retiming [52], splitter insertion):
+//!
+//! 1. [`insert_splitters`] — every RSFQ gate drives exactly one sink, so a
+//!    node with fanout `k > 1` gets a balanced tree of `k − 1` splitters.
+//! 2. [`path_balance`] — every multi-input clocked gate must consume its
+//!    input pulses in the same clock cycle; DRO DFFs are inserted on the
+//!    shallower edges (as edge weights, see [`crate::netlist`]).
+//! 3. [`retime`] — a DFF on *every* input edge of a gate can be replaced
+//!    by one DFF at its output, reducing the balancing overhead without
+//!    changing any input-to-output stage count.
+//!
+//! [`materialize_balancing`] expands edge-weight DFFs into physical DRO
+//! chains, used by tests to prove the weight bookkeeping equals the
+//! explicit construction.
+//!
+//! # Examples
+//!
+//! ```
+//! use sfq_hw::netlist::Netlist;
+//! use sfq_hw::cells::CellType;
+//! use sfq_hw::passes::{insert_splitters, path_balance, retime, stage_depths};
+//!
+//! let mut nl = Netlist::new("unbalanced");
+//! let a = nl.input("a");
+//! let b = nl.input("b");
+//! let deep = nl.gate(CellType::Not, &[a]);       // depth 1
+//! let g = nl.gate(CellType::And2, &[deep, b]);   // pin 1 arrives early
+//! nl.mark_output("g", g);
+//! insert_splitters(&mut nl);
+//! let inserted = path_balance(&mut nl);
+//! assert_eq!(inserted, 1);                        // one DFF on the b edge
+//! let _ = retime(&mut nl);
+//! assert!(stage_depths(&nl).is_ok());
+//! ```
+
+use crate::cells::CellType;
+use crate::netlist::{Netlist, NetlistError, NodeId};
+
+/// Legalizes fanout: any node driving more than [`CellType::max_fanout`]
+/// sinks gets a balanced binary splitter tree. Returns the number of
+/// splitters added.
+///
+/// Splitters are asynchronous (no clock), so the pass leaves stage depths
+/// untouched; it must therefore run *before* [`path_balance`].
+pub fn insert_splitters(nl: &mut Netlist) -> u64 {
+    let fanouts = nl.fanouts();
+    let mut added = 0u64;
+    for id in nl.ids().collect::<Vec<_>>() {
+        let max = nl
+            .node(id)
+            .cell()
+            .map_or(usize::MAX.min(2), CellType::max_fanout)
+            .max(1);
+        // Primary inputs are driven by off-module drivers; give them the
+        // same single-sink discipline (the driver needs a splitter tree
+        // too — counted here so module costs are self-contained).
+        let max = if nl.node(id).cell().is_none() { 1 } else { max };
+        let sinks = &fanouts[id.index()];
+        if sinks.len() <= max {
+            continue;
+        }
+        // Build a balanced tree: repeatedly split the endpoint with the
+        // fewest downstream leaves until we have enough endpoints.
+        let needed = sinks.len();
+        let mut endpoints: Vec<NodeId> = vec![id];
+        while endpoints.len() < needed {
+            // Take the earliest endpoint (round-robin keeps the tree
+            // balanced: queue behaviour).
+            let src = endpoints.remove(0);
+            let spl = nl.gate(CellType::Splitter, &[src]);
+            added += 1;
+            endpoints.push(spl);
+            endpoints.push(spl);
+        }
+        // A splitter output may feed two sinks; each endpoint id appears
+        // once per available output. Rewire each original sink pin.
+        for (k, &(sink, pin)) in sinks.iter().enumerate() {
+            nl.node_mut(sink).fanin[pin] = endpoints[k];
+        }
+    }
+    added
+}
+
+/// Arrival stage of every node's *output* (number of clocked cells on any
+/// input-to-here path, including edge-weight DFFs).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::CombinationalCycle`] for cyclic input.
+pub fn stage_depths(nl: &Netlist) -> Result<Vec<u32>, NetlistError> {
+    let order = nl.topo_order()?;
+    let mut depth = vec![0u32; nl.len()];
+    for id in order {
+        let node = nl.node(id);
+        let mut arrival = 0u32;
+        for (pin, &src) in node.fanin.iter().enumerate() {
+            let a = depth[src.index()] + node.in_dffs[pin];
+            arrival = arrival.max(a);
+        }
+        let own = if node.is_clocked() { 1 } else { 0 };
+        depth[id.index()] = arrival + own + node.out_dffs;
+    }
+    Ok(depth)
+}
+
+/// Fully path-balances the netlist: raises `in_dffs` on shallow edges so
+/// every multi-input clocked gate sees equal arrival stages on all pins.
+/// Returns the number of DFFs inserted.
+///
+/// # Panics
+///
+/// Panics if the netlist contains a combinational cycle (validate first).
+pub fn path_balance(nl: &mut Netlist) -> u64 {
+    let order = nl.topo_order().expect("path_balance requires acyclic netlist");
+    let mut depth = vec![0u32; nl.len()];
+    let mut inserted = 0u64;
+    for id in order {
+        let node = nl.node(id);
+        if node.fanin.is_empty() {
+            depth[id.index()] = node.out_dffs;
+            continue;
+        }
+        let arrivals: Vec<u32> = node
+            .fanin
+            .iter()
+            .zip(node.in_dffs.iter())
+            .map(|(src, &d)| depth[src.index()] + d)
+            .collect();
+        let max_arrival = *arrivals.iter().max().unwrap();
+        let own = if node.is_clocked() { 1 } else { 0 };
+        let out = node.out_dffs;
+        if node.fanin.len() > 1 {
+            let node = nl.node_mut(id);
+            for (pin, &a) in arrivals.iter().enumerate() {
+                let lag = max_arrival - a;
+                node.in_dffs[pin] += lag;
+                inserted += lag as u64;
+            }
+        }
+        depth[id.index()] = max_arrival + own + out;
+    }
+    inserted
+}
+
+/// Retiming: for every gate whose input edges *all* carry at least one
+/// balancing DFF, move one DFF from each input edge to the gate output.
+/// Each application on a `k`-input gate saves `k − 1` DFFs; iterates to a
+/// fixpoint. Returns the total DFFs saved.
+///
+/// Stage counts along every input-to-output path are preserved, so a
+/// balanced netlist stays balanced (see the property tests).
+pub fn retime(nl: &mut Netlist) -> u64 {
+    let mut saved = 0u64;
+    loop {
+        let mut changed = false;
+        for id in nl.ids().collect::<Vec<_>>() {
+            let node = nl.node(id);
+            if node.fanin.len() < 2 {
+                continue;
+            }
+            let movable = node.in_dffs.iter().map(|&d| d).min().unwrap_or(0);
+            if movable == 0 {
+                continue;
+            }
+            let k = node.fanin.len() as u64;
+            let node = nl.node_mut(id);
+            for d in node.in_dffs.iter_mut() {
+                *d -= movable;
+            }
+            node.out_dffs += movable;
+            saved += (k - 1) * movable as u64;
+            changed = true;
+        }
+        if !changed {
+            return saved;
+        }
+    }
+}
+
+/// Expands edge-weight balancing DFFs into physical DRO DFF chains,
+/// returning an equivalent netlist with zero edge weights.
+///
+/// Used by tests and by anyone wanting an explicit gate-level view; the
+/// cost model works directly on the weights.
+pub fn materialize_balancing(nl: &Netlist) -> Netlist {
+    let mut out = Netlist::new(format!("{}_materialized", nl.name()));
+    let mut map: Vec<Option<NodeId>> = vec![None; nl.len()];
+    let order = nl.topo_order().expect("acyclic");
+    for id in order {
+        let node = nl.node(id);
+        let new_id = match node.cell() {
+            None => out.input("in"),
+            Some(cell) => {
+                let fanin: Vec<NodeId> = node
+                    .fanin
+                    .iter()
+                    .zip(node.in_dffs.iter())
+                    .map(|(src, &d)| {
+                        let mapped = map[src.index()].expect("topo order");
+                        out.chain(CellType::DroDff, mapped, d as usize)
+                    })
+                    .collect();
+                out.gate(cell, &fanin)
+            }
+        };
+        let with_out = out.chain(CellType::DroDff, new_id, node.out_dffs as usize);
+        map[id.index()] = Some(with_out);
+    }
+    for (name, n) in nl.outputs() {
+        out.mark_output(name.clone(), map[n.index()].unwrap());
+    }
+    for &(a, b) in nl.feedback_edges() {
+        // Feedback destinations keep their identity through the map; the
+        // source maps to the end of its out-chain.
+        out.add_feedback(map[a.index()].unwrap(), map[b.index()].unwrap());
+    }
+    out
+}
+
+/// Runs the full synthesis flow in the paper's order — splitters,
+/// balancing, retiming — and returns `(splitters, dffs_inserted,
+/// dffs_saved)`.
+pub fn synthesize(nl: &mut Netlist) -> (u64, u64, u64) {
+    let spl = insert_splitters(nl);
+    let ins = path_balance(nl);
+    let sav = retime(nl);
+    (spl, ins, sav)
+}
+
+/// Checks the full-path-balance invariant: every multi-input clocked gate
+/// sees equal arrival stages on all pins. Returns the first violating node
+/// if any.
+pub fn check_balance(nl: &Netlist) -> Result<(), NodeId> {
+    let order = match nl.topo_order() {
+        Ok(o) => o,
+        Err(_) => return Err(NodeId(0)),
+    };
+    let mut depth = vec![0u32; nl.len()];
+    for id in order {
+        let node = nl.node(id);
+        let arrivals: Vec<u32> = node
+            .fanin
+            .iter()
+            .zip(node.in_dffs.iter())
+            .map(|(src, &d)| depth[src.index()] + d)
+            .collect();
+        if node.fanin.len() > 1 {
+            let first = arrivals[0];
+            if arrivals.iter().any(|&a| a != first) {
+                return Err(id);
+            }
+        }
+        let own = if node.is_clocked() { 1 } else { 0 };
+        depth[id.index()] =
+            arrivals.into_iter().max().unwrap_or(0) + own + node.out_dffs;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    /// A 4-input AND tree with deliberately skewed depths.
+    fn skewed_tree() -> Netlist {
+        let mut nl = Netlist::new("skew");
+        let ins = nl.inputs("i", 4);
+        let a = nl.gate(CellType::And2, &[ins[0], ins[1]]); // depth 1
+        let b = nl.gate(CellType::And2, &[a, ins[2]]); // skew on pin 1
+        let c = nl.gate(CellType::And2, &[b, ins[3]]); // more skew
+        nl.mark_output("o", c);
+        nl
+    }
+
+    #[test]
+    fn splitter_insertion_legalizes_fanout() {
+        let mut nl = Netlist::new("fan");
+        let a = nl.input("a");
+        let sinks: Vec<_> = (0..5).map(|_| nl.gate(CellType::Not, &[a])).collect();
+        for (i, s) in sinks.iter().enumerate() {
+            nl.mark_output(format!("o{i}"), *s);
+        }
+        let added = insert_splitters(&mut nl);
+        assert_eq!(added, 4, "k sinks need k−1 splitters");
+        // All fanouts now legal.
+        let fo = nl.fanout_counts();
+        for (id, node) in nl.iter() {
+            let max = node.cell().map_or(1, CellType::max_fanout);
+            assert!(
+                (fo[id.index()] as usize) <= max,
+                "node {id:?} fanout {} > {max}",
+                fo[id.index()]
+            );
+        }
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn splitter_tree_is_balanced() {
+        let mut nl = Netlist::new("fan8");
+        let a = nl.input("a");
+        for _ in 0..8 {
+            let g = nl.gate(CellType::Not, &[a]);
+            nl.mark_output("o", g);
+        }
+        insert_splitters(&mut nl);
+        // Depth of splitter chains to each sink ≤ ceil(log2(8)) = 3.
+        for (_, node) in nl.iter() {
+            if node.cell() == Some(CellType::Not) {
+                let mut hops = 0;
+                let mut cur = node.fanin[0];
+                while nl.node(cur).cell() == Some(CellType::Splitter) {
+                    hops += 1;
+                    cur = nl.node(cur).fanin[0];
+                }
+                assert!(hops <= 3, "splitter chain too deep: {hops}");
+            }
+        }
+    }
+
+    #[test]
+    fn path_balance_inserts_expected_dffs() {
+        let mut nl = skewed_tree();
+        let inserted = path_balance(&mut nl);
+        // b needs 1 on pin 1 (arrival 0 vs 1); c needs 2 on pin 1.
+        assert_eq!(inserted, 3);
+        assert!(check_balance(&nl).is_ok());
+    }
+
+    #[test]
+    fn path_balance_idempotent() {
+        let mut nl = skewed_tree();
+        let first = path_balance(&mut nl);
+        let second = path_balance(&mut nl);
+        assert!(first > 0);
+        assert_eq!(second, 0, "second run must be a no-op");
+    }
+
+    #[test]
+    fn retime_reduces_dffs_preserving_balance() {
+        // Two parallel NOT chains into an AND: balancing puts DFFs on the
+        // shorter side; deliberately put DFFs on both sides to let retime
+        // merge them.
+        let mut nl = Netlist::new("rt");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let na = nl.gate(CellType::Not, &[a]);
+        let nb = nl.gate(CellType::Not, &[b]);
+        let g = nl.gate(CellType::And2, &[na, nb]);
+        nl.mark_output("g", g);
+        // Manually weight both edges (as if a deeper context required it).
+        nl.node_mut(g).in_dffs = vec![2, 2];
+        let before = nl.stats().balancing_dffs;
+        let saved = retime(&mut nl);
+        let after = nl.stats().balancing_dffs;
+        assert_eq!(saved, 2);
+        assert_eq!(before - after, 2);
+        assert_eq!(nl.node(g).out_dffs, 2);
+        assert!(check_balance(&nl).is_ok());
+    }
+
+    #[test]
+    fn retime_noop_when_one_edge_dry() {
+        let mut nl = Netlist::new("rt2");
+        let a = nl.input("a");
+        let b = nl.input("b");
+        let g = nl.gate(CellType::And2, &[a, b]);
+        nl.mark_output("g", g);
+        nl.node_mut(g).in_dffs = vec![3, 0];
+        assert_eq!(retime(&mut nl), 0);
+        assert_eq!(nl.node(g).in_dffs, vec![3, 0]);
+    }
+
+    #[test]
+    fn synthesize_runs_full_flow() {
+        let mut nl = skewed_tree();
+        // Give input 0 a second sink to exercise splitters.
+        let extra = nl.gate(CellType::Not, &[crate::netlist::NodeId(0)]);
+        nl.mark_output("x", extra);
+        let (spl, ins, _sav) = synthesize(&mut nl);
+        assert!(spl >= 1);
+        assert!(ins >= 3);
+        assert!(check_balance(&nl).is_ok());
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn materialize_matches_weights() {
+        let mut nl = skewed_tree();
+        path_balance(&mut nl);
+        retime(&mut nl);
+        let weights = nl.stats();
+        let phys = materialize_balancing(&nl);
+        let pstats = phys.stats();
+        assert_eq!(pstats.count(CellType::DroDff), weights.count(CellType::DroDff));
+        assert_eq!(pstats.total_jj, weights.total_jj);
+        assert!(phys.validate().is_ok());
+        // Physical netlist has zero residual edge weights.
+        assert_eq!(pstats.balancing_dffs, 0);
+        // And is itself balanced.
+        assert!(check_balance(&phys).is_ok());
+    }
+
+    #[test]
+    fn stage_depths_computed() {
+        let mut nl = skewed_tree();
+        path_balance(&mut nl);
+        let d = stage_depths(&nl).unwrap();
+        // Output gate sits at depth 3 (three AND stages).
+        let out = nl.outputs()[0].1;
+        assert_eq!(d[out.index()], 3);
+    }
+
+    #[test]
+    fn check_balance_detects_violation() {
+        let nl = skewed_tree();
+        assert!(check_balance(&nl).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Tour the Table I design space: synthesize each controller at 1,024
+//! qubits, print the Fig 8 cost triple, and the §VI-A3 scalability.
+//!
+//! ```text
+//! cargo run --release --example design_space_tour
+//! ```
+
+use digiq::digiq_core::design::ControllerDesign;
+use digiq::digiq_core::hardware::build_hardware;
+use digiq::digiq_core::design::SystemConfig;
+use digiq::digiq_core::scalability::{max_qubits, POWER_BUDGET_W};
+use digiq::sfq_hw::cost::CostModel;
+
+fn main() {
+    let model = CostModel::default();
+    let points = [
+        (ControllerDesign::SfqMimdNaive, 1usize),
+        (ControllerDesign::SfqMimdDecomp, 1),
+        (ControllerDesign::DigiqMin { bs: 2 }, 2),
+        (ControllerDesign::DigiqMin { bs: 4 }, 2),
+        (ControllerDesign::DigiqOpt { bs: 8 }, 2),
+        (ControllerDesign::DigiqOpt { bs: 16 }, 2),
+    ];
+    println!(
+        "{:20} {:>9} {:>11} {:>7} {:>11}",
+        "design", "power(W)", "area(mm2)", "cables", "max qubits"
+    );
+    for (design, groups) in points {
+        let cfg = SystemConfig::paper_default(design, groups);
+        let hw = build_hardware(&cfg, &model);
+        let scale = max_qubits(design, groups, &model, POWER_BUDGET_W);
+        println!(
+            "{:20} {:>9.3} {:>11.1} {:>7} {:>11}",
+            design.to_string(),
+            hw.report.power_w,
+            hw.report.area_mm2,
+            hw.cables,
+            scale
+        );
+        // The dominant module tells the design's story.
+        let biggest = hw
+            .modules
+            .iter()
+            .max_by(|a, b| {
+                (a.stats.total_jj * a.count)
+                    .cmp(&(b.stats.total_jj * b.count))
+            })
+            .unwrap();
+        println!("    dominant block: {} ×{}", biggest.name, biggest.count);
+    }
+    println!("\npaper: naive 5.9 W, decomp 10.7 W; DigiQ_min(BS=2) >42k qubits at 10 W");
+}
