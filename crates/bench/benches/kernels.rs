@@ -1,100 +1,108 @@
-//! Criterion benchmarks for the computational kernels behind every
-//! figure: Hamiltonian propagation (Fig 7), bitstream fitness (§V-A
-//! step 1), gate decomposition (Fig 10a), routing and synthesis (Figs
-//! 8/9).
+//! Timing kernels for the computational hot paths behind every figure:
+//! Hamiltonian propagation (Fig 7), bitstream fitness (§V-A step 1), gate
+//! decomposition (Fig 10a), routing and synthesis (Figs 8/9).
+//!
+//! Runs on the std-only harness in `digiq_bench::timing` (no criterion —
+//! the workspace is offline and dependency-free). `--quick` shrinks the
+//! budgets for CI smoke runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use digiq_bench::timing::Harness;
 use std::hint::black_box;
 
-fn bench_expm(c: &mut Criterion) {
+fn bench_expm(h: &mut Harness) {
     let pair = qsim::two_qubit::CoupledTransmons::paper_pair(6.21286, 4.14238);
-    let h = pair.hamiltonian(-1.8);
-    c.bench_function("expm_9x9_propagator", |b| {
-        b.iter(|| qsim::expm::expm_hermitian_propagator(black_box(&h), 0.25))
+    let ham = pair.hamiltonian(-1.8);
+    h.bench("expm_9x9_propagator", || {
+        qsim::expm::expm_hermitian_propagator(black_box(&ham), 0.25)
     });
-    let wf = qsim::two_qubit::DetuningWaveform::rounded(
-        pair.cz_resonance_detuning(), 4.0, 35.0, 0.5,
-    );
-    c.bench_function("uqq_full_pulse", |b| b.iter(|| pair.propagate(black_box(&wf))));
+    let wf =
+        qsim::two_qubit::DetuningWaveform::rounded(pair.cz_resonance_detuning(), 4.0, 35.0, 0.5);
+    h.bench("uqq_full_pulse", || pair.propagate(black_box(&wf)));
 }
 
-fn bench_bitstream(c: &mut Criterion) {
+fn bench_bitstream(h: &mut Harness) {
     use qsim::pulse::{SfqParams, SfqPulseSim};
     let sim = SfqPulseSim::new(qsim::transmon::Transmon::new(6.21286), SfqParams::default());
     let bits = sim.resonant_comb(63);
     let target = qsim::gates::ry(std::f64::consts::FRAC_PI_2);
-    c.bench_function("bitstream_frame_gate_253", |b| {
-        b.iter(|| sim.frame_gate_qubit(black_box(&bits)))
+    h.bench("bitstream_frame_gate_253", || {
+        sim.frame_gate_qubit(black_box(&bits))
     });
-    c.bench_function("bitstream_fitness_free_z", |b| {
-        let m = sim.frame_gate_qubit(&bits);
-        b.iter(|| {
-            calib::bitstream::fidelity_with_freedom(
-                black_box(&m),
-                &target,
-                calib::bitstream::ZFreedom::PrePost,
-            )
-        })
+    let m = sim.frame_gate_qubit(&bits);
+    h.bench("bitstream_fitness_free_z", || {
+        calib::bitstream::fidelity_with_freedom(
+            black_box(&m),
+            &target,
+            calib::bitstream::ZFreedom::PrePost,
+        )
     });
 }
 
-fn bench_decomposition(c: &mut Criterion) {
+fn bench_decomposition(h: &mut Harness) {
     let basis = calib::opt_decomp::OptBasis::ideal(255);
     let target = qsim::gates::h();
-    c.bench_function("opt_decompose_L2", |b| {
-        b.iter(|| calib::opt_decomp::decompose_opt(black_box(&target), &basis, 0.0, 2, 0.0))
+    h.bench("opt_decompose_L2", || {
+        calib::opt_decomp::decompose_opt(black_box(&target), &basis, 0.0, 2, 0.0)
     });
     let min_basis = calib::min_decomp::MinBasis::ideal_ry_t();
     let db = calib::min_decomp::SequenceDb::build(&min_basis, 10);
-    c.bench_function("min_mitm_query_depth20", |b| {
-        b.iter(|| calib::min_decomp::decompose_min(black_box(&target), &min_basis, &db, 1e-4))
+    h.bench("min_mitm_query_depth20", || {
+        calib::min_decomp::decompose_min(black_box(&target), &min_basis, &db, 1e-4)
     });
 }
 
-fn bench_compile(c: &mut Criterion) {
+fn bench_compile(h: &mut Harness) {
     use qcircuit::lower::lower_to_cz;
     use qcircuit::mapping::{route, Layout, RouterConfig};
     use qcircuit::topology::Grid;
     let grid = Grid::new(8, 8);
     let circuit = lower_to_cz(&qcircuit::bench::ising_chain(64, 2, 0.3, 0.7));
-    c.bench_function("route_ising64", |b| {
-        b.iter(|| {
-            route(
-                black_box(&circuit),
-                &grid,
-                Layout::snake(64, &grid),
-                &RouterConfig::default(),
-            )
-        })
+    h.bench("route_ising64", || {
+        route(
+            black_box(&circuit),
+            &grid,
+            Layout::snake(64, &grid),
+            &RouterConfig::default(),
+        )
     });
-    c.bench_function("schedule_ising64", |b| {
-        let routed = route(&circuit, &grid, Layout::snake(64, &grid), &RouterConfig::default());
-        let phys = lower_to_cz(&routed.circuit);
-        b.iter(|| qcircuit::schedule::schedule_crosstalk_aware(black_box(&phys), &grid))
-    });
-}
-
-fn bench_synthesis(c: &mut Criterion) {
-    c.bench_function("synthesize_mux16", |b| {
-        b.iter(|| {
-            let mut nl = sfq_hw::generators::one_hot_mux(16);
-            sfq_hw::passes::synthesize(&mut nl);
-            nl.stats().total_jj
-        })
-    });
-    c.bench_function("build_hardware_opt_bs8", |b| {
-        let cfg = digiq_core::design::SystemConfig::paper_default(
-            digiq_core::design::ControllerDesign::DigiqOpt { bs: 8 },
-            2,
-        );
-        let model = sfq_hw::cost::CostModel::default();
-        b.iter(|| digiq_core::hardware::build_hardware(black_box(&cfg), &model))
+    let routed = route(
+        &circuit,
+        &grid,
+        Layout::snake(64, &grid),
+        &RouterConfig::default(),
+    );
+    let phys = lower_to_cz(&routed.circuit);
+    h.bench("schedule_ising64", || {
+        qcircuit::schedule::schedule_crosstalk_aware(black_box(&phys), &grid)
     });
 }
 
-criterion_group! {
-    name = kernels;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_expm, bench_bitstream, bench_decomposition, bench_compile, bench_synthesis
+fn bench_synthesis(h: &mut Harness) {
+    h.bench("synthesize_mux16", || {
+        let mut nl = sfq_hw::generators::one_hot_mux(16);
+        sfq_hw::passes::synthesize(&mut nl);
+        nl.stats().total_jj
+    });
+    let cfg = digiq_core::design::SystemConfig::paper_default(
+        digiq_core::design::ControllerDesign::DigiqOpt { bs: 8 },
+        2,
+    );
+    let model = sfq_hw::cost::CostModel::default();
+    h.bench("build_hardware_opt_bs8", || {
+        digiq_core::hardware::build_hardware(black_box(&cfg), &model)
+    });
 }
-criterion_main!(kernels);
+
+fn main() {
+    let mut h = if digiq_bench::has_flag("--quick") {
+        Harness::quick()
+    } else {
+        Harness::standard()
+    };
+    bench_expm(&mut h);
+    bench_bitstream(&mut h);
+    bench_decomposition(&mut h);
+    bench_compile(&mut h);
+    bench_synthesis(&mut h);
+    println!("\n{} kernels timed.", h.results.len());
+}

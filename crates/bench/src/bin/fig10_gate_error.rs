@@ -20,15 +20,21 @@ fn main() {
     let rows = fig10a(&config, &shared);
     println!("# Fig 10a: qubit drift(GHz) opt_median min_median");
     for r in &rows {
-        println!("A {:4} {:+.5} {:.3e} {:.3e}", r.qubit, r.drift_ghz, r.opt_median, r.min_median);
+        println!(
+            "A {:4} {:+.5} {:.3e} {:.3e}",
+            r.qubit, r.drift_ghz, r.opt_median, r.min_median
+        );
     }
     let med = |f: &dyn Fn(&digiq_core::error_model::QubitErrorRow) -> f64| {
         let mut v: Vec<f64> = rows.iter().map(f).collect();
         v.sort_by(|a, b| a.partial_cmp(b).unwrap());
         v[v.len() / 2]
     };
-    eprintln!("medians: opt {:.2e}, min {:.2e} (paper band ~1e-4..1e-3 with outliers)",
-              med(&|r| r.opt_median), med(&|r| r.min_median));
+    eprintln!(
+        "medians: opt {:.2e}, min {:.2e} (paper band ~1e-4..1e-3 with outliers)",
+        med(&|r| r.opt_median),
+        med(&|r| r.min_median)
+    );
 
     let oneq: Vec<f64> = rows.iter().map(|r| r.opt_median).collect();
     let stride = if full { 1 } else { 4 };
@@ -36,9 +42,14 @@ fn main() {
     let czs = fig10b(&config, &oneq, stride);
     println!("# Fig 10b: coupler qa qb cz_error");
     for c in &czs {
-        println!("B {:4} {:4} {:4} {:.3e}", c.coupler, c.qubits.0, c.qubits.1, c.cz_error);
+        println!(
+            "B {:4} {:4} {:4} {:.3e}",
+            c.coupler, c.qubits.0, c.qubits.1, c.cz_error
+        );
     }
     let over = czs.iter().filter(|c| c.cz_error > 0.002).count();
-    eprintln!("CZ error > 0.002 on {over}/{} couplers (paper: 3–7% with calibration, 84% without)",
-              czs.len());
+    eprintln!(
+        "CZ error > 0.002 on {over}/{} couplers (paper: 3–7% with calibration, 84% without)",
+        czs.len()
+    );
 }

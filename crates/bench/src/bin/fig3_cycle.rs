@@ -14,7 +14,10 @@ fn main() {
             basis.theta(d as usize)
         );
     }
-    println!("  residual Rz({:+.4} rad) absorbed into the next gate", dec.phi_out);
+    println!(
+        "  residual Rz({:+.4} rad) absorbed into the next gate",
+        dec.phi_out
+    );
     println!("  achieved error: {:.2e}", dec.error);
     println!();
     println!("cycle timing: 253 bitstream ticks + 255 delay slots @40 ps = 20.32 ns");

@@ -9,6 +9,10 @@ fn main() {
     for (k, i) in wave.samples_ma.iter().enumerate() {
         println!("{:6.2} {:+.4}", k as f64 * wave.dt_ns, i);
     }
-    eprintln!("peak {:.3} mA (paper ~1.2), rise {:.1} ns (paper ~10), plateau {:.1} ns",
-              wave.peak_ma(), wave.rise_time_ns().unwrap_or(f64::NAN), wave.plateau_ns());
+    eprintln!(
+        "peak {:.3} mA (paper ~1.2), rise {:.1} ns (paper ~10), plateau {:.1} ns",
+        wave.peak_ma(),
+        wave.rise_time_ns().unwrap_or(f64::NAN),
+        wave.plateau_ns()
+    );
 }

@@ -6,15 +6,29 @@ use calib::cz::{calibrate_shared_pulse, fig7_panel};
 use qsim::two_qubit::CoupledTransmons;
 
 fn main() {
-    let grid = if digiq_bench::has_flag("--small") { 3 } else { 5 };
-    let pulses_max = if digiq_bench::has_flag("--small") { 2 } else { 3 };
+    let grid = if digiq_bench::has_flag("--small") {
+        3
+    } else {
+        5
+    };
+    let pulses_max = if digiq_bench::has_flag("--small") {
+        2
+    } else {
+        3
+    };
     let pair = CoupledTransmons::paper_pair(6.21286, 4.14238);
     let pulse = calibrate_shared_pulse(&pair, 4.0, 0.25);
-    println!("# calibrated shared pulse: nominal CZ error {:.2e} (paper ~3e-4)", pulse.nominal_error);
+    println!(
+        "# calibrated shared pulse: nominal CZ error {:.2e} (paper ~3e-4)",
+        pulse.nominal_error
+    );
     for n in 1..=pulses_max {
         println!("# panel {n}: {n} Uqq pulse(s); columns: drift1(GHz) drift2(GHz) error");
         for p in fig7_panel(&pair, &pulse, n, 0.006, grid, 3) {
-            println!("{n} {:+.4} {:+.4} {:.3e}", p.drift1_ghz, p.drift2_ghz, p.error);
+            println!(
+                "{n} {:+.4} {:+.4} {:.3e}",
+                p.drift1_ghz, p.drift2_ghz, p.error
+            );
         }
     }
 }

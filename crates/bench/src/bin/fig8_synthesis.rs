@@ -4,14 +4,18 @@ fn main() {
     let rows = digiq_core::hardware::fig8_sweep(&sfq_hw::cost::CostModel::default());
     println!("Fig 8: hardware cost per 1,024 qubits");
     digiq_bench::rule(86);
-    println!("{:22} | {:>3} | {:>9} | {:>11} | {:>7} | {:>10}",
-             "design", "G", "power (W)", "area (mm2)", "cables", "stage (ps)");
+    println!(
+        "{:22} | {:>3} | {:>9} | {:>11} | {:>7} | {:>10}",
+        "design", "G", "power (W)", "area (mm2)", "cables", "stage (ps)"
+    );
     digiq_bench::rule(86);
     let mut worst: f64 = 0.0;
     for r in &rows {
         worst = worst.max(r.worst_stage_ps);
-        println!("{:22} | {:>3} | {:>9.3} | {:>11.1} | {:>7} | {:>10.1}",
-                 r.design, r.groups, r.power_w, r.area_mm2, r.cables, r.worst_stage_ps);
+        println!(
+            "{:22} | {:>3} | {:>9.3} | {:>11.1} | {:>7} | {:>10.1}",
+            r.design, r.groups, r.power_w, r.area_mm2, r.cables, r.worst_stage_ps
+        );
     }
     println!();
     println!("worst synthesized stage {worst:.1} ps -> 40 ps SFQ clock (paper: 34.5 ps)");

@@ -2,12 +2,16 @@
 fn main() {
     println!("Scalability at the 10 W 4K-stage budget (1,024-qubit tiles)");
     digiq_bench::rule(84);
-    println!("{:22} | {:>10} | {:>12} | {:>11} | {:>10}",
-             "design", "tile W", "tile mm2", "max qubits", "cables");
+    println!(
+        "{:22} | {:>10} | {:>12} | {:>11} | {:>10}",
+        "design", "tile W", "tile mm2", "max qubits", "cables"
+    );
     digiq_bench::rule(84);
     for r in digiq_core::scalability::scalability_table(&sfq_hw::cost::CostModel::default()) {
-        println!("{:22} | {:>10.3} | {:>12.1} | {:>11} | {:>10}",
-                 r.design, r.tile_power_w, r.tile_area_mm2, r.max_qubits, r.cables_per_tile);
+        println!(
+            "{:22} | {:>10.3} | {:>12.1} | {:>11} | {:>10}",
+            r.design, r.tile_power_w, r.tile_area_mm2, r.max_qubits, r.cables_per_tile
+        );
     }
     println!();
     println!("paper: DigiQ_min(BS=2) >42,000 | DigiQ_opt(BS=8) >25,000 | DigiQ_opt(BS=16) >17,000");

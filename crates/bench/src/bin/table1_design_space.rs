@@ -2,9 +2,15 @@
 fn main() {
     println!("Table I: design space for SFQ-based single-qubit gate controllers");
     digiq_bench::rule(100);
-    println!("{:22} | {:42} | {:24} | {}", "design", "scalability", "execution", "calibration");
+    println!(
+        "{:22} | {:42} | {:24} | {}",
+        "design", "scalability", "execution", "calibration"
+    );
     digiq_bench::rule(100);
     for row in digiq_core::design::design_space_table() {
-        println!("{:22} | {:42} | {:24} | {}", row.design, row.scalability, row.execution, row.calibration);
+        println!(
+            "{:22} | {:42} | {:24} | {}",
+            row.design, row.scalability, row.execution, row.calibration
+        );
     }
 }

@@ -6,11 +6,17 @@ fn main() {
     println!("Table II: optimal parking frequencies (N=255, err ≤ 1e-4, 40 ps clock)");
     println!("search band 4.0–6.5 GHz, step {step} GHz");
     digiq_bench::rule(66);
-    println!("{:>22} | {:>22} | {:>12}", "parking freq (GHz)", "drift tol (± GHz)", "center err");
+    println!(
+        "{:>22} | {:>22} | {:>12}",
+        "parking freq (GHz)", "drift tol (± GHz)", "center err"
+    );
     digiq_bench::rule(66);
     let rows = calib::parking::parking_search((4.0, 6.5), 0.040, 255, 1.0e-4, step, 3);
     for r in &rows {
-        println!("{:>22.5} | {:>22.5} | {:>12.2e}", r.freq_ghz, r.drift_tolerance_ghz, r.center_error);
+        println!(
+            "{:>22.5} | {:>22.5} | {:>12.2e}",
+            r.freq_ghz, r.drift_tolerance_ghz, r.center_error
+        );
     }
     println!();
     println!("paper reports: 6.21286 ±0.01282 | 5.02978 ±0.01049 | 4.14238 ±0.00820");

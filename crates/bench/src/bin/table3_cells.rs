@@ -2,13 +2,23 @@
 fn main() {
     println!("Table III: RSFQ cell library");
     digiq_bench::rule(56);
-    println!("{:10} | {:>11} | {:>8} | {:>9} | {}", "cell", "area (um2)", "JJs", "delay(ps)", "source");
+    println!(
+        "{:10} | {:>11} | {:>8} | {:>9} | {}",
+        "cell", "area (um2)", "JJs", "delay(ps)", "source"
+    );
     digiq_bench::rule(56);
     for c in sfq_hw::cells::ALL_CELLS {
         println!(
             "{:10} | {:>11.0} | {:>8} | {:>9.1} | {}",
-            c.mnemonic(), c.area_um2(), c.jj_count(), c.delay_ps(),
-            if c.in_table_iii() { "Table III" } else { "estimate" }
+            c.mnemonic(),
+            c.area_um2(),
+            c.jj_count(),
+            c.delay_ps(),
+            if c.in_table_iii() {
+                "Table III"
+            } else {
+                "estimate"
+            }
         );
     }
 }

@@ -19,8 +19,12 @@
 //!
 //! Heavier harnesses accept `--small` / `--full` to trade fidelity for
 //! runtime (defaults regenerate a faithful reduced grid; `--full` matches
-//! paper scale). The `benches/` directory holds criterion kernels for the
-//! computational hot paths.
+//! paper scale). The `benches/` directory holds std-only timing kernels
+//! (see [`timing`]) for the computational hot paths; run them with
+//! `cargo bench -p digiq-bench --bench kernels` (add `-- --quick` for
+//! smoke mode).
+
+pub mod timing;
 
 /// Parses a `--flag` style boolean from argv.
 pub fn has_flag(name: &str) -> bool {

@@ -100,8 +100,7 @@ pub fn fidelity_with_freedom(m: &CMat, v: &CMat, freedom: ZFreedom) -> f64 {
 /// A constructive pulse comb: `n_pulses` pulses, one per qubit period,
 /// starting at clock tick `start`, written into a length-`len` bitstream.
 pub fn comb_seed(sim: &SfqPulseSim, len: usize, start: usize, n_pulses: usize) -> Vec<bool> {
-    let ticks_per_period =
-        1.0 / (sim.transmon().frequency_ghz * sim.params().clock_period_ns);
+    let ticks_per_period = 1.0 / (sim.transmon().frequency_ghz * sim.params().clock_period_ns);
     let mut bits = vec![false; len];
     for k in 0..n_pulses {
         let pos = start + (k as f64 * ticks_per_period).round() as usize;
@@ -116,8 +115,7 @@ pub fn comb_seed(sim: &SfqPulseSim, len: usize, start: usize, n_pulses: usize) -
 /// by `φ/2` (the composite-pulse identity `R_a(π)·R_b(π) ∝ Rz(2(a−b))`).
 pub fn rz_seed(sim: &SfqPulseSim, len: usize, phi: f64) -> Vec<bool> {
     let pulses_per_pi = (PI / sim.params().delta_theta).round() as usize;
-    let ticks_per_period =
-        1.0 / (sim.transmon().frequency_ghz * sim.params().clock_period_ns);
+    let ticks_per_period = 1.0 / (sim.transmon().frequency_ghz * sim.params().clock_period_ns);
     let burst_len = (pulses_per_pi as f64 * ticks_per_period).ceil() as usize;
     // Axis of a burst = qubit phase at its start = 2π·f·T_clk·start.
     // Want a − b = −φ/2 ⇒ start offset Δt with 2π·f·T·Δ = φ/2 (mod 2π).
@@ -127,7 +125,9 @@ pub fn rz_seed(sim: &SfqPulseSim, len: usize, phi: f64) -> Vec<bool> {
     let mut best_err = f64::INFINITY;
     for off in 0..((2.0 * PI / phase_per_tick).ceil() as usize + 2) {
         let ph = (off as f64 * phase_per_tick).rem_euclid(2.0 * PI);
-        let e = (ph - delta_phase).abs().min(2.0 * PI - (ph - delta_phase).abs());
+        let e = (ph - delta_phase)
+            .abs()
+            .min(2.0 * PI - (ph - delta_phase).abs());
         if e < best_err {
             best_err = e;
             best_offset = off;
@@ -183,8 +183,7 @@ pub fn find_bitstream(
     let (theta, _phi, _lam, _) = qsim::gates::zyz_angles(target);
     let pulses_for_theta = ((theta / params.delta_theta).round() as usize).max(1);
     let mut seeds: Vec<Vec<bool>> = Vec::new();
-    let ticks_per_period =
-        1.0 / (transmon.frequency_ghz * params.clock_period_ns);
+    let ticks_per_period = 1.0 / (transmon.frequency_ghz * params.clock_period_ns);
     for start in 0..(ticks_per_period.ceil() as usize + 1) {
         seeds.push(comb_seed(&sim, cfg.length, start, pulses_for_theta));
     }
@@ -356,10 +355,10 @@ mod tests {
         );
         let u_nom = basis_op_for_qubit(&r.bits, nominal, params);
         let u_drift = basis_op_for_qubit(&r.bits, Transmon::new(6.21286 + 0.006), params);
-        assert!(qsim::gates::phase_distance(
-            &u_nom.top_left_block(2),
-            &u_drift.top_left_block(2)
-        ) > 1e-3);
+        assert!(
+            qsim::gates::phase_distance(&u_nom.top_left_block(2), &u_drift.top_left_block(2))
+                > 1e-3
+        );
         // Both are unitary 6-level evolutions.
         assert!(u_nom.is_unitary(1e-8));
         assert!(u_drift.is_unitary(1e-8));

@@ -15,9 +15,8 @@
 
 use qsim::matrix::CMat;
 use qsim::optimize::nelder_mead;
+use qsim::rng::StdRng;
 use qsim::two_qubit::{CoupledTransmons, DetuningWaveform};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::f64::consts::PI;
 
 /// A calibrated shared CZ pulse: the detuning waveform every pair receives.
@@ -198,12 +197,7 @@ mod tests {
         let pair = paper_pair();
         let p = pulse();
         let near = cz_error_with_local_1q(&uqq_for_drift(&pair, &p, 0.0, 0.0, 1.0), 1, 3, 7);
-        let far = cz_error_with_local_1q(
-            &uqq_for_drift(&pair, &p, 0.008, -0.008, 1.0),
-            1,
-            3,
-            7,
-        );
+        let far = cz_error_with_local_1q(&uqq_for_drift(&pair, &p, 0.008, -0.008, 1.0), 1, 3, 7);
         assert!(
             far > near,
             "drift must hurt: near {:.2e}, far {:.2e}",

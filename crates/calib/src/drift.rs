@@ -11,9 +11,8 @@
 //! Table II frequencies so every coupler spans a CZ-compatible pair), then
 //! perturbed junction-by-junction.
 
+use qsim::rng::StdRng;
 use qsim::transmon::AsymmetricTransmon;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// The drift/variability parameters of §VI-B.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -147,8 +146,7 @@ mod tests {
             .map(|q| q.drift_ghz() * 1e3) // MHz
             .collect();
         let mean = drifts.iter().sum::<f64>() / drifts.len() as f64;
-        let var =
-            drifts.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / drifts.len() as f64;
+        let var = drifts.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / drifts.len() as f64;
         let std = var.sqrt();
         assert!(
             (2.0..8.0).contains(&std),
@@ -163,8 +161,7 @@ mod tests {
         let scales: Vec<f64> = p.iter().map(|q| q.current_scale).collect();
         let mean = scales.iter().sum::<f64>() / scales.len() as f64;
         assert!((mean - 1.0).abs() < 0.005);
-        let var =
-            scales.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scales.len() as f64;
+        let var = scales.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scales.len() as f64;
         assert!((var.sqrt() - 0.01).abs() < 0.005, "σ = {}", var.sqrt());
     }
 
@@ -187,12 +184,7 @@ mod tests {
     fn three_colour_population_works() {
         // Table II has three parking frequencies; a 3-colouring is also
         // supported.
-        let p = sample_population(
-            32,
-            96,
-            &[6.21286, 5.02978, 4.14238],
-            &DriftModel::default(),
-        );
+        let p = sample_population(32, 96, &[6.21286, 5.02978, 4.14238], &DriftModel::default());
         assert!(p.iter().any(|q| q.nominal_ghz == 5.02978));
     }
 }

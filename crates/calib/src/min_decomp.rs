@@ -124,11 +124,9 @@ impl SequenceDb {
                     // Gate fired after the existing sequence: new = op ∘ q.
                     let nq = op.compose(q);
                     let key = cell_key(nq, dedup_res);
-                    let dup = seen
-                        .get(&key)
-                        .map_or(false, |v| {
-                            v.iter().any(|&i| entries[i as usize].0.distance(nq) < 1e-6)
-                        });
+                    let dup = seen.get(&key).map_or(false, |v| {
+                        v.iter().any(|&i| entries[i as usize].0.distance(nq) < 1e-6)
+                    });
                     if dup {
                         continue;
                     }
@@ -349,7 +347,9 @@ mod tests {
         // decomposes targets — frequency-dependent ops "still constitute
         // universal gate sets" (§V-A).
         let drifted = MinBasis::new(vec![
-            gates::rz(0.11).matmul(&gates::ry(FRAC_PI_2 + 0.04)).matmul(&gates::rz(-0.07)),
+            gates::rz(0.11)
+                .matmul(&gates::ry(FRAC_PI_2 + 0.04))
+                .matmul(&gates::rz(-0.07)),
             gates::rz(PI / 4.0 + 0.03),
         ]);
         let db = SequenceDb::build(&drifted, 11);

@@ -370,12 +370,7 @@ mod tests {
 
     #[test]
     fn coverage_matches_parking_module() {
-        let b = OptBasis::new(
-            &CMat::identity(6),
-            6.21286,
-            0.040,
-            255,
-        );
+        let b = OptBasis::new(&CMat::identity(6), 6.21286, 0.040, 255);
         let here = coverage_error(&b);
         let there = crate::parking::worst_rz_error(6.21286, 0.040, 255);
         assert!((here - there).abs() < 1e-12);

@@ -150,7 +150,11 @@ pub fn parking_search(
             }
         })
         .collect();
-    rows.sort_by(|x, y| y.drift_tolerance_ghz.partial_cmp(&x.drift_tolerance_ghz).unwrap());
+    rows.sort_by(|x, y| {
+        y.drift_tolerance_ghz
+            .partial_cmp(&x.drift_tolerance_ghz)
+            .unwrap()
+    });
     rows.truncate(max_results);
     rows
 }
@@ -163,10 +167,8 @@ mod tests {
     fn error_formula_matches_fidelity_identity() {
         // ε(Δ) must agree with qsim's average gate error of Rz(Δ) vs I.
         for delta in [0.01f64, 0.1, 0.5, 1.0] {
-            let direct = qsim::fidelity::average_gate_error(
-                &qsim::gates::rz(delta),
-                &qsim::gates::id2(),
-            );
+            let direct =
+                qsim::fidelity::average_gate_error(&qsim::gates::rz(delta), &qsim::gates::id2());
             assert!((rz_error_for_offset(delta) - direct).abs() < 1e-12);
         }
     }

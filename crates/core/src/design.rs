@@ -13,11 +13,11 @@
 //! plus the **Impossible MIMD** reference of Fig 9 (same gate times,
 //! unlimited parallelism, physically unbuildable at scale).
 
-use serde::{Deserialize, Serialize};
+use sfq_hw::json::{Json, ToJson};
 use std::fmt;
 
 /// A point in the controller design space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ControllerDesign {
     /// One tailored bitstream register per qubit, updated from room
     /// temperature on the fly.
@@ -60,6 +60,24 @@ impl ControllerDesign {
     }
 }
 
+impl ToJson for ControllerDesign {
+    // Externally tagged, matching the former serde derive: unit variants
+    // render as their name, struct variants as {"Variant":{"bs":n}}.
+    fn to_json(&self) -> Json {
+        match *self {
+            ControllerDesign::SfqMimdNaive => "SfqMimdNaive".to_json(),
+            ControllerDesign::SfqMimdDecomp => "SfqMimdDecomp".to_json(),
+            ControllerDesign::ImpossibleMimd => "ImpossibleMimd".to_json(),
+            ControllerDesign::DigiqMin { bs } => {
+                Json::obj([("DigiqMin", Json::obj([("bs", bs.to_json())]))])
+            }
+            ControllerDesign::DigiqOpt { bs } => {
+                Json::obj([("DigiqOpt", Json::obj([("bs", bs.to_json())]))])
+            }
+        }
+    }
+}
+
 impl fmt::Display for ControllerDesign {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
@@ -73,7 +91,7 @@ impl fmt::Display for ControllerDesign {
 }
 
 /// Full system configuration for one evaluation point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Which controller architecture.
     pub design: ControllerDesign,
@@ -131,9 +149,7 @@ impl SystemConfig {
     /// DigiQ_min, plus the 10.2 ns delay window for DigiQ_opt).
     pub fn cable_cycle_ns(&self) -> f64 {
         match self.design {
-            ControllerDesign::DigiqOpt { .. } => {
-                9.0 + self.n_delays as f64 * self.clock_period_ns
-            }
+            ControllerDesign::DigiqOpt { .. } => 9.0 + self.n_delays as f64 * self.clock_period_ns,
             _ => 9.0,
         }
     }
@@ -161,8 +177,7 @@ impl SystemConfig {
     pub fn group_bits_per_cycle(&self) -> usize {
         match self.design {
             ControllerDesign::DigiqOpt { bs } => {
-                let delay_bits =
-                    (usize::BITS - self.n_delays.leading_zeros()) as usize;
+                let delay_bits = (usize::BITS - self.n_delays.leading_zeros()) as usize;
                 bs * delay_bits
             }
             _ => 0,
@@ -176,8 +191,23 @@ impl SystemConfig {
     }
 }
 
+impl ToJson for SystemConfig {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", self.design.to_json()),
+            ("groups", self.groups.to_json()),
+            ("n_qubits", self.n_qubits.to_json()),
+            ("register_bits", self.register_bits.to_json()),
+            ("clock_period_ns", self.clock_period_ns.to_json()),
+            ("n_delays", self.n_delays.to_json()),
+            ("bitstream_ticks", self.bitstream_ticks.to_json()),
+            ("cz_ns", self.cz_ns.to_json()),
+        ])
+    }
+}
+
 /// A Table I row, rendered programmatically.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DesignSpaceRow {
     /// Design name.
     pub design: String,
@@ -187,6 +217,17 @@ pub struct DesignSpaceRow {
     pub execution: &'static str,
     /// Where pulse calibration happens.
     pub calibration: &'static str,
+}
+
+impl ToJson for DesignSpaceRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", self.design.to_json()),
+            ("scalability", self.scalability.to_json()),
+            ("execution", self.execution.to_json()),
+            ("calibration", self.calibration.to_json()),
+        ])
+    }
 }
 
 /// Regenerates Table I.

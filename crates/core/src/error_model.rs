@@ -23,11 +23,10 @@ use calib::opt_decomp::{decompose_opt, OptBasis};
 use qsim::matrix::CMat;
 use qsim::optimize::GaConfig;
 use qsim::pulse::SfqParams;
+use qsim::rng::StdRng;
 use qsim::transmon::Transmon;
 use qsim::two_qubit::CoupledTransmons;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::Serialize;
+use sfq_hw::json::{Json, ToJson};
 use std::f64::consts::PI;
 
 /// Configuration of the error-model evaluation.
@@ -110,7 +109,7 @@ pub fn target_sample(n: usize, seed: u64) -> Vec<CMat> {
 }
 
 /// Per-qubit Fig 10a record.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct QubitErrorRow {
     /// Physical qubit index.
     pub qubit: usize,
@@ -120,6 +119,17 @@ pub struct QubitErrorRow {
     pub opt_median: f64,
     /// Median 1q gate error on DigiQ_min.
     pub min_median: f64,
+}
+
+impl ToJson for QubitErrorRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("qubit", self.qubit.to_json()),
+            ("drift_ghz", self.drift_ghz.to_json()),
+            ("opt_median", self.opt_median.to_json()),
+            ("min_median", self.min_median.to_json()),
+        ])
+    }
 }
 
 fn median(mut v: Vec<f64>) -> f64 {
@@ -213,12 +223,7 @@ pub fn fig10a(config: &ErrorModelConfig, shared: &SharedCalibration) -> Vec<Qubi
 
         // DigiQ_opt: recompute the basis op under drift, then decompose.
         let ubs = basis_op_for_qubit(&shared.ry_bits[class], actual, shared.opt_params);
-        let basis = OptBasis::new(
-            &ubs,
-            q.actual_ghz,
-            shared.opt_params.clock_period_ns,
-            255,
-        );
+        let basis = OptBasis::new(&ubs, q.actual_ghz, shared.opt_params.clock_period_ns, 255);
         let opt_errors: Vec<f64> = targets
             .iter()
             .map(|t| decompose_opt(t, &basis, 0.0, 3, 1e-4).error)
@@ -248,22 +253,21 @@ pub fn fig10a(config: &ErrorModelConfig, shared: &SharedCalibration) -> Vec<Qubi
     let threads = config.threads.max(1);
     let chunk = population.len().div_ceil(threads);
     let mut rows: Vec<QubitErrorRow> = Vec::with_capacity(population.len());
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = population
             .chunks(chunk)
-            .map(|part| s.spawn(move |_| part.iter().map(eval_qubit).collect::<Vec<_>>()))
+            .map(|part| s.spawn(|| part.iter().map(&eval_qubit).collect::<Vec<_>>()))
             .collect();
         for h in handles {
             rows.extend(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope");
+    });
     rows.sort_by_key(|r| r.qubit);
     rows
 }
 
 /// Per-coupler Fig 10b record.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CouplerErrorRow {
     /// Coupler index (grid enumeration order).
     pub coupler: usize,
@@ -271,6 +275,16 @@ pub struct CouplerErrorRow {
     pub qubits: (usize, usize),
     /// Composed CZ error (echo-optimized Uqq + 1q contributions).
     pub cz_error: f64,
+}
+
+impl ToJson for CouplerErrorRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("coupler", self.coupler.to_json()),
+            ("qubits", self.qubits.to_json()),
+            ("cz_error", self.cz_error.to_json()),
+        ])
+    }
 }
 
 /// Evaluates Fig 10b over (a sample of) the grid couplers.
@@ -283,17 +297,16 @@ pub fn fig10b(
     oneq_error: &[f64],
     coupler_stride: usize,
 ) -> Vec<CouplerErrorRow> {
-    let grid = qcircuit::topology::Grid::new(
-        config.n_qubits.div_ceil(config.grid_cols),
-        config.grid_cols,
-    );
+    let grid =
+        qcircuit::topology::Grid::new(config.n_qubits.div_ceil(config.grid_cols), config.grid_cols);
     let population = sample_population(
         config.grid_cols,
         config.n_qubits,
         &config.parking_ghz,
         &config.drift,
     );
-    let nominal = CoupledTransmons::paper_pair(config.parking_ghz[0], *config.parking_ghz.last().unwrap());
+    let nominal =
+        CoupledTransmons::paper_pair(config.parking_ghz[0], *config.parking_ghz.last().unwrap());
     let pulse: SharedCzPulse = calibrate_shared_pulse(&nominal, 4.0, 0.25);
 
     let couplers: Vec<(usize, (usize, usize))> = grid
@@ -321,8 +334,9 @@ pub fn fig10b(
         let e2 = cz_error_with_local_1q(&uqq, 2, 2, 0xF160_10B1 + idx as u64);
         let echo = e1.min(e2);
         // Surrounding single-qubit gates (2 layers × 2 qubits).
-        let oneq = 2.0 * (oneq_error.get(a).copied().unwrap_or(0.0)
-            + oneq_error.get(b).copied().unwrap_or(0.0));
+        let oneq = 2.0
+            * (oneq_error.get(a).copied().unwrap_or(0.0)
+                + oneq_error.get(b).copied().unwrap_or(0.0));
         CouplerErrorRow {
             coupler: idx,
             qubits: (a, b),
@@ -333,16 +347,15 @@ pub fn fig10b(
     let threads = config.threads.max(1);
     let chunk = couplers.len().div_ceil(threads);
     let mut rows: Vec<CouplerErrorRow> = Vec::with_capacity(couplers.len());
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let handles: Vec<_> = couplers
             .chunks(chunk)
-            .map(|part| s.spawn(move |_| part.iter().map(eval).collect::<Vec<_>>()))
+            .map(|part| s.spawn(|| part.iter().map(&eval).collect::<Vec<_>>()))
             .collect();
         for h in handles {
             rows.extend(h.join().expect("worker panicked"));
         }
-    })
-    .expect("scope");
+    });
     rows.sort_by_key(|r| r.coupler);
     rows
 }

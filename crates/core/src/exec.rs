@@ -28,7 +28,7 @@
 use crate::design::{ControllerDesign, SystemConfig};
 use qcircuit::ir::{Circuit, Gate, OneQ};
 use qcircuit::schedule::Slot;
-use serde::Serialize;
+use sfq_hw::json::{Json, ToJson};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -72,7 +72,7 @@ impl ExecParams {
 }
 
 /// Per-run accounting.
-#[derive(Debug, Clone, Serialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ExecReport {
     /// Total execution time, ns.
     pub total_ns: f64,
@@ -84,6 +84,18 @@ pub struct ExecReport {
     pub slots: u64,
     /// CZ occupancy time, ns.
     pub cz_ns: f64,
+}
+
+impl ToJson for ExecReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("total_ns", self.total_ns.to_json()),
+            ("oneq_cycles", self.oneq_cycles.to_json()),
+            ("serialization_cycles", self.serialization_cycles.to_json()),
+            ("slots", self.slots.to_json()),
+            ("cz_ns", self.cz_ns.to_json()),
+        ])
+    }
 }
 
 fn hash_u64(parts: &[u64]) -> u64 {
@@ -107,8 +119,10 @@ fn gate_theta(kind: OneQ) -> f64 {
 
 /// Quantized angle-class of a gate (delay-sharing key).
 fn gate_bin(kind: OneQ, bins: usize) -> u64 {
-    let q = |a: f64| ((a.rem_euclid(2.0 * std::f64::consts::PI)) / (2.0 * std::f64::consts::PI)
-        * bins as f64) as u64;
+    let q = |a: f64| {
+        ((a.rem_euclid(2.0 * std::f64::consts::PI)) / (2.0 * std::f64::consts::PI) * bins as f64)
+            as u64
+    };
     match kind {
         OneQ::H => 1,
         OneQ::X => 2,
@@ -169,8 +183,7 @@ pub fn execute(
                     }
                     Gate::OneQ { q, kind } => {
                         let dur = match cfg.design {
-                            ControllerDesign::ImpossibleMimd
-                            | ControllerDesign::SfqMimdNaive => {
+                            ControllerDesign::ImpossibleMimd | ControllerDesign::SfqMimdNaive => {
                                 cfg.bitstream_ticks as f64 * cfg.clock_period_ns
                             }
                             _ => {
@@ -219,10 +232,8 @@ pub fn execute(
                 Gate::OneQ { q, kind } => {
                     any_1q = true;
                     match cfg.design {
-                        ControllerDesign::ImpossibleMimd
-                        | ControllerDesign::SfqMimdNaive => {}
-                        ControllerDesign::SfqMimdDecomp
-                        | ControllerDesign::DigiqMin { .. } => {
+                        ControllerDesign::ImpossibleMimd | ControllerDesign::SfqMimdNaive => {}
+                        ControllerDesign::SfqMimdDecomp | ControllerDesign::DigiqMin { .. } => {
                             // Decomposition depth K (no serialization).
                             let idx = hash_u64(&[
                                 params.seed,
@@ -252,10 +263,7 @@ pub fn execute(
                                     // drift-forced per-qubit variation
                                     (q % params.variation_classes.max(1)) as u64,
                                 ]);
-                                demands
-                                    .entry((group, pos))
-                                    .or_default()
-                                    .insert(delay_class);
+                                demands.entry((group, pos)).or_default().insert(delay_class);
                             }
                         }
                     }

@@ -15,10 +15,10 @@
 //!   multi-chip clock sync (§VI-A3).
 
 use crate::design::{ControllerDesign, SystemConfig};
-use serde::Serialize;
 use sfq_hw::cables::{cable_count, CableSpec};
 use sfq_hw::cost::{CostModel, CostReport};
 use sfq_hw::generators as gen;
+use sfq_hw::json::{Json, ToJson};
 use sfq_hw::netlist::{Netlist, NetlistStats};
 use sfq_hw::passes::synthesize;
 
@@ -30,33 +30,52 @@ pub const SFQDC_BLOCKS_PER_QUBIT: usize = 25;
 pub const PLL_JJ: u64 = 500;
 
 /// One composed module with its multiplicity.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ModuleInstance {
     /// Human-readable module role.
     pub name: String,
     /// Instances in the full design.
     pub count: u64,
-    /// Synthesized statistics of one instance.
-    #[serde(skip)]
+    /// Synthesized statistics of one instance (skipped in reports).
     pub stats: NetlistStats,
     /// Worst pipeline stage of one instance, ps.
     pub worst_stage_ps: f64,
 }
 
+impl ToJson for ModuleInstance {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", self.name.to_json()),
+            ("count", self.count.to_json()),
+            ("worst_stage_ps", self.worst_stage_ps.to_json()),
+        ])
+    }
+}
+
 /// The fully composed hardware of one design point.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct DesignHardware {
     /// The configuration this was built for.
     pub config: SystemConfig,
     /// Module breakdown.
     pub modules: Vec<ModuleInstance>,
-    /// Aggregate statistics.
-    #[serde(skip)]
+    /// Aggregate statistics (skipped in reports).
     pub total: NetlistStats,
     /// Cost summary (power W, area mm², worst stage ps).
     pub report: CostReport,
     /// Room-temperature cables required (Fig 8c).
     pub cables: u64,
+}
+
+impl ToJson for DesignHardware {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("config", self.config.to_json()),
+            ("modules", self.modules.to_json()),
+            ("report", self.report.to_json()),
+            ("cables", self.cables.to_json()),
+        ])
+    }
 }
 
 fn synthesized(mut nl: Netlist, model: &CostModel) -> (NetlistStats, f64) {
@@ -129,19 +148,13 @@ pub fn build_hardware(config: &SystemConfig, model: &CostModel) -> DesignHardwar
             );
             // Tap positions are dynamic: the line exposes every BS-worth
             // of taps via comparators; the line itself is shared.
-            let taps: Vec<usize> = (0..bs)
-                .map(|k| (k + 1) * config.n_delays / bs)
-                .collect();
+            let taps: Vec<usize> = (0..bs).map(|k| (k + 1) * config.n_delays / bs).collect();
             push(
                 "per-group delay line",
                 groups,
                 gen::tapped_delay_line(config.n_delays, &taps),
             );
-            push(
-                "per-group delay counter",
-                groups,
-                gen::binary_counter(8),
-            );
+            push("per-group delay counter", groups, gen::binary_counter(8));
             push(
                 "per-group tap selectors (comparator+latch)",
                 groups * bs as u64,
@@ -185,7 +198,11 @@ pub fn build_hardware(config: &SystemConfig, model: &CostModel) -> DesignHardwar
     // 508 ticks → 9 bits for DigiQ_opt).
     let cycle_ticks = (config.cycle_ns() / config.clock_period_ns).ceil() as usize;
     let counter_bits = (usize::BITS - cycle_ticks.leading_zeros()) as usize;
-    push("per-chip cycle counter", groups, gen::binary_counter(counter_bits));
+    push(
+        "per-chip cycle counter",
+        groups,
+        gen::binary_counter(counter_bits),
+    );
 
     // Roll up.
     let mut total = NetlistStats::default();
@@ -215,7 +232,7 @@ pub fn build_hardware(config: &SystemConfig, model: &CostModel) -> DesignHardwar
 }
 
 /// One Fig 8 sweep row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Fig8Row {
     /// Design label.
     pub design: String,
@@ -229,6 +246,19 @@ pub struct Fig8Row {
     pub cables: u64,
     /// Worst stage delay, ps.
     pub worst_stage_ps: f64,
+}
+
+impl ToJson for Fig8Row {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", self.design.to_json()),
+            ("groups", self.groups.to_json()),
+            ("power_w", self.power_w.to_json()),
+            ("area_mm2", self.area_mm2.to_json()),
+            ("cables", self.cables.to_json()),
+            ("worst_stage_ps", self.worst_stage_ps.to_json()),
+        ])
+    }
 }
 
 /// Runs the full Fig 8 sweep: both MIMD baselines plus

@@ -12,14 +12,14 @@
 
 use crate::design::{ControllerDesign, SystemConfig};
 use crate::hardware::build_hardware;
-use serde::Serialize;
 use sfq_hw::cost::CostModel;
+use sfq_hw::json::{Json, ToJson};
 
 /// The 4 K-stage power budget the paper quotes (ref [7]): 10 W.
 pub const POWER_BUDGET_W: f64 = 10.0;
 
 /// One scalability row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ScalabilityRow {
     /// Design label.
     pub design: String,
@@ -33,9 +33,26 @@ pub struct ScalabilityRow {
     pub cables_per_tile: u64,
 }
 
+impl ToJson for ScalabilityRow {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", self.design.to_json()),
+            ("tile_power_w", self.tile_power_w.to_json()),
+            ("tile_area_mm2", self.tile_area_mm2.to_json()),
+            ("max_qubits", self.max_qubits.to_json()),
+            ("cables_per_tile", self.cables_per_tile.to_json()),
+        ])
+    }
+}
+
 /// Maximum qubits a design supports within `budget_w`, by tiling the
 /// 1,024-qubit unit (§VI-A3).
-pub fn max_qubits(design: ControllerDesign, groups: usize, model: &CostModel, budget_w: f64) -> u64 {
+pub fn max_qubits(
+    design: ControllerDesign,
+    groups: usize,
+    model: &CostModel,
+    budget_w: f64,
+) -> u64 {
     let cfg = SystemConfig::paper_default(design, groups);
     let hw = build_hardware(&cfg, model);
     ((budget_w / hw.report.power_w).floor() as u64) * cfg.n_qubits as u64

@@ -17,8 +17,8 @@ use qcircuit::lower::lower_to_cz;
 use qcircuit::mapping::{route, Layout, RouterConfig};
 use qcircuit::schedule::schedule_crosstalk_aware;
 use qcircuit::topology::Grid;
-use serde::Serialize;
 use sfq_hw::cost::CostModel;
+use sfq_hw::json::{Json, ToJson};
 
 /// A configured DigiQ controller ready to evaluate workloads.
 #[derive(Debug)]
@@ -33,7 +33,7 @@ pub struct DigiqSystem {
 }
 
 /// Evaluation result for one benchmark (one Fig 9 bar).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct BenchmarkReport {
     /// Benchmark name.
     pub benchmark: String,
@@ -47,6 +47,19 @@ pub struct BenchmarkReport {
     pub exec: ExecReport,
     /// Execution time normalized to Impossible MIMD (Fig 9's y-axis).
     pub normalized_time: f64,
+}
+
+impl ToJson for BenchmarkReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("benchmark", self.benchmark.to_json()),
+            ("logical_gates", self.logical_gates.to_json()),
+            ("swaps", self.swaps.to_json()),
+            ("slots", self.slots.to_json()),
+            ("exec", self.exec.to_json()),
+            ("normalized_time", self.normalized_time.to_json()),
+        ])
+    }
 }
 
 impl DigiqSystem {
@@ -167,7 +180,11 @@ pub fn fig9_sweep(model: &CostModel) -> Vec<(String, String, f64)> {
         let system = DigiqSystem::build(design, 2, model);
         for bench in qcircuit::bench::ALL_BENCHMARKS {
             let report = system.evaluate_benchmark(bench);
-            rows.push((design.to_string(), bench.name().to_string(), report.normalized_time));
+            rows.push((
+                design.to_string(),
+                bench.name().to_string(),
+                report.normalized_time,
+            ));
         }
     }
     rows
@@ -233,11 +250,7 @@ mod tests {
 
     #[test]
     fn impossible_mimd_is_the_unit_baseline() {
-        let system = DigiqSystem::build(
-            ControllerDesign::ImpossibleMimd,
-            1,
-            &CostModel::default(),
-        );
+        let system = DigiqSystem::build(ControllerDesign::ImpossibleMimd, 1, &CostModel::default());
         assert!(system.hardware.is_none());
         let mut c = Circuit::new(4);
         c.h(0);

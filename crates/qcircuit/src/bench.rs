@@ -17,8 +17,7 @@
 //! a fraction of the ancilla bookkeeping (see DESIGN.md).
 
 use crate::ir::Circuit;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qsim::rng::StdRng;
 use std::f64::consts::PI;
 
 /// Identifies one of the paper's six benchmarks; used by the evaluation
@@ -233,7 +232,10 @@ impl BlockAdderLayout {
     ///
     /// Panics if `n` is not a positive multiple of `block`.
     pub fn new(n: usize, block: usize) -> Self {
-        assert!(block > 0 && n > 0 && n % block == 0, "n must be a multiple of block");
+        assert!(
+            block > 0 && n > 0 && n % block == 0,
+            "n must be a multiple of block"
+        );
         let nb = n / block;
         // a[n], b[n], per-block generate G[nb], propagate P[nb],
         // AND-chain ancillas (block−1 per block), true carries c[nb+1].
@@ -344,6 +346,7 @@ pub fn block_lookahead_adder(n: usize, block: usize) -> Circuit {
         // Move the stashed generate from carry scratch into G_k.
         c.cx(lay.carry(k + 1), lay.g(k));
         c.cx(lay.g(k), lay.carry(k + 1)); // clear scratch (G==scratch)
+
         // Propagate: p_i = a_i ⊕ b_i formed in b, AND-chained into P_k.
         for i in 0..block {
             c.cx(lay.a(lo + i), lay.b(lo + i));
@@ -576,7 +579,9 @@ pub fn grover_sqrt(bits: usize, target: u64) -> Circuit {
             }
         }
         let controls: Vec<usize> = (0..lay.bits).map(|i| lay.acc(i)).collect();
-        let ancillas: Vec<usize> = (0..lay.bits.saturating_sub(2)).map(|i| lay.mcz(i)).collect();
+        let ancillas: Vec<usize> = (0..lay.bits.saturating_sub(2))
+            .map(|i| lay.mcz(i))
+            .collect();
         multi_controlled_z(&mut c, &controls, &ancillas);
         for i in 0..lay.bits {
             if target & (1 << i) == 0 {

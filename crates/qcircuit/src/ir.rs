@@ -205,7 +205,11 @@ impl Circuit {
     pub fn push(&mut self, gate: Gate) {
         let qs = gate.qubits();
         for &q in &qs {
-            assert!(q < self.n_qubits, "qubit {q} out of range {}", self.n_qubits);
+            assert!(
+                q < self.n_qubits,
+                "qubit {q} out of range {}",
+                self.n_qubits
+            );
         }
         for i in 0..qs.len() {
             for j in i + 1..qs.len() {
@@ -602,8 +606,12 @@ mod tests {
 
     #[test]
     fn cx_truth_table() {
-        for (c_in, t_in, t_out) in [(false, false, false), (false, true, true),
-                                    (true, false, true), (true, true, false)] {
+        for (c_in, t_in, t_out) in [
+            (false, false, false),
+            (false, true, true),
+            (true, false, true),
+            (true, true, false),
+        ] {
             let mut sv = StateVector::basis(&[c_in, t_in]);
             sv.apply_gate(&Gate::Cx { c: 0, t: 1 });
             let expect = ((c_in as usize) << 1) | t_out as usize;

@@ -30,8 +30,7 @@
 
 use crate::ir::{Circuit, Gate};
 use crate::topology::Grid;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qsim::rng::StdRng;
 
 /// A logical→physical qubit assignment.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -89,7 +88,10 @@ impl Layout {
         let mut phys_to_log = vec![None; n_physical];
         for (l, &p) in log_to_phys.iter().enumerate() {
             assert!(p < n_physical, "physical index out of range");
-            assert!(phys_to_log[p].is_none(), "physical qubit {p} assigned twice");
+            assert!(
+                phys_to_log[p].is_none(),
+                "physical qubit {p} assigned twice"
+            );
             phys_to_log[p] = Some(l);
         }
         Layout {
@@ -187,7 +189,13 @@ pub fn route(c: &Circuit, grid: &Grid, initial: Layout, cfg: &RouterConfig) -> R
     assert!(c.n_qubits() <= grid.n_qubits());
     let mut best: Option<RoutedCircuit> = None;
     for t in 0..cfg.trials.max(1) {
-        let r = route_once(c, grid, initial.clone(), cfg.seed.wrapping_add(t as u64), cfg);
+        let r = route_once(
+            c,
+            grid,
+            initial.clone(),
+            cfg.seed.wrapping_add(t as u64),
+            cfg,
+        );
         if best.as_ref().map_or(true, |b| r.swap_count < b.swap_count) {
             best = Some(r);
         }
@@ -251,7 +259,8 @@ fn route_once(
                                     la += grid.distance(trial.phys(x), trial.phys(y)) as f64
                                         / (k + 1) as f64;
                                 }
-                                let score = d_after as f64 + cfg.lookahead_weight * la
+                                let score = d_after as f64
+                                    + cfg.lookahead_weight * la
                                     + rng.gen::<f64>() * 1e-3;
                                 cands.push((end, n, score));
                             }
@@ -333,7 +342,12 @@ mod tests {
         let grid = Grid::new(4, 4);
         let mut c = Circuit::new(16);
         c.cz(0, 15); // opposite corners, distance 6
-        let r = route(&c, &grid, Layout::identity(16, 16), &RouterConfig::default());
+        let r = route(
+            &c,
+            &grid,
+            Layout::identity(16, 16),
+            &RouterConfig::default(),
+        );
         assert!(r.is_hardware_compliant(&grid));
         assert!(r.swap_count >= 5, "needs ≥5 swaps, got {}", r.swap_count);
         // Routed circuit ends with the CZ.
@@ -388,7 +402,12 @@ mod tests {
         let grid = Grid::new(6, 6);
         let secret: Vec<bool> = (0..31).map(|i| i % 2 == 0).collect();
         let c = lower_to_cz(&bench::bernstein_vazirani(&secret));
-        let r = route(&c, &grid, Layout::snake(32, &grid), &RouterConfig::default());
+        let r = route(
+            &c,
+            &grid,
+            Layout::snake(32, &grid),
+            &RouterConfig::default(),
+        );
         assert!(r.is_hardware_compliant(&grid));
         assert!(r.swap_count > 20, "swap count {}", r.swap_count);
     }

@@ -266,7 +266,12 @@ mod tests {
     fn full_pipeline_schedule_validates() {
         let grid = Grid::new(6, 6);
         let c = lower_to_cz(&bench::ising_chain(36, 2, 0.3, 0.7));
-        let r = route(&c, &grid, Layout::snake(36, &grid), &RouterConfig::default());
+        let r = route(
+            &c,
+            &grid,
+            Layout::snake(36, &grid),
+            &RouterConfig::default(),
+        );
         let slots = schedule_crosstalk_aware(&r.circuit, &grid);
         validate_schedule(&r.circuit, &grid, &slots).unwrap();
         // Crosstalk splitting makes the schedule longer than raw ASAP.
@@ -315,9 +320,7 @@ mod tests {
     #[test]
     fn noise_adaptive_respects_capacity() {
         let grid = Grid::new(2, 2);
-        let usage = QubitUsage {
-            counts: vec![1; 4],
-        };
+        let usage = QubitUsage { counts: vec![1; 4] };
         // No slack: avoidance silently degrades to zero.
         let layout = noise_adaptive_layout(&usage, &[0.1, 0.2, 0.3, 0.4], &grid, 2);
         assert_eq!(layout.n_logical(), 4);

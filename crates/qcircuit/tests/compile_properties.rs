@@ -1,46 +1,51 @@
 //! Property-based tests for the compilation pipeline: lowering preserves
 //! semantics, routing produces hardware-compliant circuits, scheduling
-//! preserves order and covers every gate.
+//! preserves order and covers every gate. Randomized cases come from the
+//! workspace's seeded internal RNG (no proptest offline).
 
-use proptest::prelude::*;
-use qcircuit::ir::{Circuit, Gate, StateVector};
+use qcircuit::ir::{Circuit, StateVector};
 use qcircuit::lower::{fuse_single_qubit_runs, is_lowered, lower_to_cz};
 use qcircuit::mapping::{route, Layout, RouterConfig};
 use qcircuit::schedule::{schedule_crosstalk_aware, validate_schedule};
 use qcircuit::topology::Grid;
+use qsim::rng::StdRng;
 
 const N: usize = 6; // grid 2×3
+const CASES: u64 = 32;
 
-fn random_circuit() -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0u8..8, 0usize..N, 0usize..N, 0usize..N, -3.0f64..3.0), 1..25)
-        .prop_map(|ops| {
-            let mut c = Circuit::new(N);
-            for (kind, a, b, t, angle) in ops {
-                let b2 = if b == a { (b + 1) % N } else { b };
-                let t2 = if t == a || t == b2 {
-                    (a.max(b2) + 1) % N
+fn random_circuit(rng: &mut StdRng) -> Circuit {
+    let n_ops = rng.gen_range(1usize..25);
+    let mut c = Circuit::new(N);
+    for _ in 0..n_ops {
+        let kind = rng.gen_range(0u32..8);
+        let a = rng.gen_range(0usize..N);
+        let b = rng.gen_range(0usize..N);
+        let t = rng.gen_range(0usize..N);
+        let angle = rng.gen_range(-3.0..3.0);
+        let b2 = if b == a { (b + 1) % N } else { b };
+        let t2 = if t == a || t == b2 {
+            (a.max(b2) + 1) % N
+        } else {
+            t
+        };
+        match kind {
+            0 => c.h(a),
+            1 => c.t(a),
+            2 => c.rx(a, angle),
+            3 => c.rz(a, angle),
+            4 => c.cx(a, b2),
+            5 => c.cz(a, b2),
+            6 => c.swap(a, b2),
+            _ => {
+                if t2 != a && t2 != b2 {
+                    c.ccx(a, b2, t2);
                 } else {
-                    t
-                };
-                match kind {
-                    0 => c.h(a),
-                    1 => c.t(a),
-                    2 => c.rx(a, angle),
-                    3 => c.rz(a, angle),
-                    4 => c.cx(a, b2),
-                    5 => c.cz(a, b2),
-                    6 => c.swap(a, b2),
-                    _ => {
-                        if t2 != a && t2 != b2 {
-                            c.ccx(a, b2, t2);
-                        } else {
-                            c.x(a);
-                        }
-                    }
+                    c.x(a);
                 }
             }
-            c
-        })
+        }
+    }
+    c
 }
 
 fn states_equal_up_to_phase(a: &StateVector, b: &StateVector, tol: f64) -> bool {
@@ -58,38 +63,48 @@ fn states_equal_up_to_phase(a: &StateVector, b: &StateVector, tol: f64) -> bool 
         .all(|(x, y)| (*x - *y * phase).abs() < tol)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn lowering_preserves_statevector(c in random_circuit()) {
+#[test]
+fn lowering_preserves_statevector() {
+    for case in 0..CASES {
+        let c = random_circuit(&mut StdRng::seed_from_u64(case));
         let low = lower_to_cz(&c);
-        prop_assert!(is_lowered(&low));
+        assert!(is_lowered(&low), "case {case}");
         let mut sa = StateVector::zero(N);
         let mut sb = StateVector::zero(N);
         sa.apply_circuit(&c);
         sb.apply_circuit(&low);
-        prop_assert!(states_equal_up_to_phase(&sa, &sb, 1e-7));
+        assert!(states_equal_up_to_phase(&sa, &sb, 1e-7), "case {case}");
     }
+}
 
-    #[test]
-    fn fusion_preserves_statevector(c in random_circuit()) {
+#[test]
+fn fusion_preserves_statevector() {
+    for case in 0..CASES {
+        let c = random_circuit(&mut StdRng::seed_from_u64(case));
         let low = lower_to_cz(&c);
         let fused = fuse_single_qubit_runs(&low);
-        prop_assert!(fused.len() <= low.len());
+        assert!(fused.len() <= low.len(), "case {case}");
         let mut sa = StateVector::zero(N);
         let mut sb = StateVector::zero(N);
         sa.apply_circuit(&low);
         sb.apply_circuit(&fused);
-        prop_assert!(states_equal_up_to_phase(&sa, &sb, 1e-7));
+        assert!(states_equal_up_to_phase(&sa, &sb, 1e-7), "case {case}");
     }
+}
 
-    #[test]
-    fn routing_is_compliant_and_preserves_marginals(c in random_circuit()) {
+#[test]
+fn routing_is_compliant_and_preserves_marginals() {
+    for case in 0..CASES {
+        let c = random_circuit(&mut StdRng::seed_from_u64(case));
         let grid = Grid::new(2, 3);
         let low = lower_to_cz(&c);
-        let routed = route(&low, &grid, Layout::identity(N, N), &RouterConfig::default());
-        prop_assert!(routed.is_hardware_compliant(&grid));
+        let routed = route(
+            &low,
+            &grid,
+            Layout::identity(N, N),
+            &RouterConfig::default(),
+        );
+        assert!(routed.is_hardware_compliant(&grid), "case {case}");
         // Per-qubit marginals survive the layout permutation.
         let mut sl = StateVector::zero(N);
         sl.apply_circuit(&low);
@@ -97,29 +112,46 @@ proptest! {
         sp.apply_circuit(&routed.circuit);
         for l in 0..N {
             let p = routed.final_layout.phys(l);
-            prop_assert!((sl.prob_one(l) - sp.prob_one(p)).abs() < 1e-7);
+            assert!(
+                (sl.prob_one(l) - sp.prob_one(p)).abs() < 1e-7,
+                "case {case}: qubit {l}"
+            );
         }
     }
+}
 
-    #[test]
-    fn schedule_is_valid_for_any_routed_circuit(c in random_circuit()) {
+#[test]
+fn schedule_is_valid_for_any_routed_circuit() {
+    for case in 0..CASES {
+        let c = random_circuit(&mut StdRng::seed_from_u64(case));
         let grid = Grid::new(2, 3);
         let low = lower_to_cz(&c);
-        let routed = route(&low, &grid, Layout::identity(N, N), &RouterConfig::default());
+        let routed = route(
+            &low,
+            &grid,
+            Layout::identity(N, N),
+            &RouterConfig::default(),
+        );
         // Router-inserted SWAPs are physical 3-CZ sequences: lower again
         // before scheduling (the production pipeline's order).
         let phys = lower_to_cz(&routed.circuit);
         let slots = schedule_crosstalk_aware(&phys, &grid);
-        prop_assert!(validate_schedule(&phys, &grid, &slots).is_ok());
+        assert!(
+            validate_schedule(&phys, &grid, &slots).is_ok(),
+            "case {case}"
+        );
         // Slot count bounded below by dependency depth.
-        prop_assert!(slots.len() >= phys.depth());
+        assert!(slots.len() >= phys.depth(), "case {case}");
     }
+}
 
-    #[test]
-    fn depth_never_exceeds_gate_count(c in random_circuit()) {
-        prop_assert!(c.depth() <= c.len());
+#[test]
+fn depth_never_exceeds_gate_count() {
+    for case in 0..CASES {
+        let c = random_circuit(&mut StdRng::seed_from_u64(case));
+        assert!(c.depth() <= c.len(), "case {case}");
         let m = c.moments();
         let total: usize = m.iter().map(|x| x.len()).sum();
-        prop_assert_eq!(total, c.len());
+        assert_eq!(total, c.len(), "case {case}");
     }
 }

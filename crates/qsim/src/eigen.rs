@@ -238,10 +238,7 @@ mod tests {
             let hv = h.apply(&vk);
             for i in 0..5 {
                 let expect = vk[i] * e.values[k];
-                assert!(
-                    (hv[i] - expect).abs() < 1e-9,
-                    "H v != λ v at ({i},{k})"
-                );
+                assert!((hv[i] - expect).abs() < 1e-9, "H v != λ v at ({i},{k})");
             }
         }
     }

@@ -369,8 +369,7 @@ impl Su2 {
     /// Phase-insensitive gate distance in `[0, √2]`:
     /// `√(1 − |⟨q1, q2⟩|)·√2`, monotone in the average-gate-infidelity.
     pub fn distance(self, other: Su2) -> f64 {
-        let dot =
-            self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
+        let dot = self.w * other.w + self.x * other.x + self.y * other.y + self.z * other.z;
         (2.0 * (1.0 - dot.abs()).max(0.0)).sqrt()
     }
 

@@ -49,6 +49,7 @@ pub mod gates;
 pub mod matrix;
 pub mod optimize;
 pub mod pulse;
+pub mod rng;
 pub mod transmon;
 pub mod two_qubit;
 

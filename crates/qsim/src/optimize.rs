@@ -21,8 +21,7 @@
 //! assert!(r.value < 1e-8);
 //! ```
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// Result of a continuous optimization.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,7 +50,10 @@ pub fn nelder_mead(
     max_iter: usize,
     tol: f64,
 ) -> OptResult {
-    assert!(!x0.is_empty(), "nelder_mead requires at least one parameter");
+    assert!(
+        !x0.is_empty(),
+        "nelder_mead requires at least one parameter"
+    );
     let n = x0.len();
     let (alpha, gamma, rho, sigma) = (1.0, 2.0, 0.5, 0.5);
     let mut evals = 0usize;
@@ -185,7 +187,10 @@ pub fn multistart_nelder_mead(
         let x0: Vec<f64> = if s == 0 {
             bounds.iter().map(|&(lo, hi)| 0.5 * (lo + hi)).collect()
         } else {
-            bounds.iter().map(|&(lo, hi)| rng.gen_range(lo..=hi)).collect()
+            bounds
+                .iter()
+                .map(|&(lo, hi)| rng.gen_range(lo..=hi))
+                .collect()
         };
         let span = bounds
             .iter()
@@ -458,8 +463,7 @@ mod tests {
 
     #[test]
     fn nelder_mead_rosenbrock_2d() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let r = nelder_mead(rosen, &[-1.0, 1.0], 0.5, 5000, 1e-16);
         assert!(r.value < 1e-8, "value = {}", r.value);
         assert!((r.x[0] - 1.0).abs() < 1e-3);
@@ -479,9 +483,7 @@ mod tests {
 
     #[test]
     fn de_finds_global_minimum_of_shifted_sphere() {
-        let f = |x: &[f64]| {
-            (x[0] - 0.7).powi(2) + (x[1] + 0.3).powi(2) + 1.5
-        };
+        let f = |x: &[f64]| (x[0] - 0.7).powi(2) + (x[1] + 0.3).powi(2) + 1.5;
         let r = differential_evolution(f, &[(-2.0, 2.0), (-2.0, 2.0)], 20, 80, 42);
         assert!((r.value - 1.5).abs() < 1e-4);
         assert!((r.x[0] - 0.7).abs() < 1e-2);
@@ -517,12 +519,7 @@ mod tests {
         let secret: Vec<bool> = (0..32).map(|i| i % 3 == 0).collect();
         let sc = secret.clone();
         let r = ga_bitstring(
-            move |b| {
-                b.iter()
-                    .zip(sc.iter())
-                    .filter(|(x, y)| x == y)
-                    .count() as f64
-            },
+            move |b| b.iter().zip(sc.iter()).filter(|(x, y)| x == y).count() as f64,
             32,
             &[secret.clone()],
             GaConfig {

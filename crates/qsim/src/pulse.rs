@@ -180,11 +180,7 @@ impl SfqPulseSim {
             let c0 = state[0];
             let c1 = state[1];
             let cross = c0.conj() * c1;
-            out.push((
-                2.0 * cross.re,
-                2.0 * cross.im,
-                c0.abs2() - c1.abs2(),
-            ));
+            out.push((2.0 * cross.re, 2.0 * cross.im, c0.abs2() - c1.abs2()));
         }
         out
     }
@@ -260,7 +256,9 @@ mod tests {
             for j in 0..64 {
                 let a = i as f64 / 64.0 * 2.0 * PI;
                 let b = j as f64 / 64.0 * 2.0 * PI;
-                let target = gates::rz(a).matmul(&gates::ry(PI / 2.0)).matmul(&gates::rz(b));
+                let target = gates::rz(a)
+                    .matmul(&gates::ry(PI / 2.0))
+                    .matmul(&gates::rz(b));
                 best = best.min(average_gate_error(&u, &target));
             }
         }

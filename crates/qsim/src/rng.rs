@@ -1,0 +1,354 @@
+//! Deterministic, seedable pseudo-random numbers with no external deps.
+//!
+//! The DigiQ evaluation needs randomness in exactly four shapes — uniform
+//! `f64` in `[0, 1)`, uniform floats over a box, uniform integers below a
+//! bound, and fair coin flips — all of which must be **reproducible
+//! run-to-run given a seed** so that GA/annealing searches and drift
+//! populations are stable across machines and sessions.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna), seeded through
+//! SplitMix64 so that consecutive `u64` seeds yield well-separated streams.
+//! The API deliberately mirrors the subset of the `rand` crate the seed
+//! code used (`StdRng::seed_from_u64`, `gen`, `gen_range`), so call sites
+//! port mechanically — only the `use` line changes.
+//!
+//! ```
+//! use qsim::rng::StdRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let x: f64 = rng.gen();
+//! assert!((0.0..1.0).contains(&x));
+//! let k = rng.gen_range(0..10usize);
+//! assert!(k < 10);
+//! // Same seed ⇒ same stream.
+//! let mut again = StdRng::seed_from_u64(42);
+//! assert_eq!(again.gen::<f64>(), x);
+//! ```
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256** generator with a `rand`-shaped API.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl StdRng {
+    /// Builds a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in s.iter_mut() {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro's all-zero state is absorbing; SplitMix64 cannot produce
+        // four consecutive zeros, but guard anyway for safety.
+        if s == [0, 0, 0, 0] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `u64` in `[0, n)` via threshold rejection (unbiased).
+    #[inline]
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        // 2^64 mod n; values >= 2^64 - m would bias `% n`, so reject them.
+        let m = (u64::MAX % n + 1) % n;
+        let threshold = 0u64.wrapping_sub(m);
+        loop {
+            let v = self.next_u64();
+            if m == 0 || v < threshold {
+                return v % n;
+            }
+        }
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[0, 1]` (both endpoints reachable).
+    #[inline]
+    fn unit_f64_inclusive(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64
+    }
+
+    /// Samples a value of type `T` from its standard distribution
+    /// (`f64` → uniform `[0, 1)`, `bool` → fair coin, integers → full range).
+    #[inline]
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from `lo..hi` or `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R: UniformRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+/// Types samplable by [`StdRng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the type's standard distribution.
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> f64 {
+        rng.unit_f64()
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> f32 {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> bool {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample(rng: &mut StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Range shapes accepted by [`StdRng::gen_range`].
+pub trait UniformRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from(self, rng: &mut StdRng) -> T;
+}
+
+impl UniformRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty f64 range");
+        let u = rng.unit_f64();
+        // Lerp form: each term is bounded by the endpoints, so spans like
+        // MIN..MAX cannot overflow the way `end - start` would.
+        let v = self.start * (1.0 - u) + self.end * u;
+        if v < self.end {
+            // `max` also maps a NaN from inf·0 edge cases back in range.
+            v.max(self.start)
+        } else {
+            // Rounding landed on (or past) the excluded endpoint; return
+            // the largest value strictly below it.
+            self.end.next_down().max(self.start)
+        }
+    }
+}
+
+impl UniformRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty f64 range");
+        lo + rng.unit_f64_inclusive() * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty integer range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl UniformRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty integer range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32);
+
+impl UniformRange<i64> for Range<i64> {
+    #[inline]
+    fn sample_from(self, rng: &mut StdRng) -> i64 {
+        assert!(self.start < self.end, "gen_range: empty integer range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add(rng.below(span) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_f64_in_half_open_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_f64_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn int_range_respects_bounds_and_hits_all() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let k = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&k));
+            seen[k - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reachable");
+    }
+
+    #[test]
+    fn inclusive_int_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..1_000 {
+            let k = rng.gen_range(0u64..=3);
+            assert!(k <= 3);
+            lo_seen |= k == 0;
+            hi_seen |= k == 3;
+        }
+        assert!(lo_seen && hi_seen);
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-2.5..1.5);
+            assert!((-2.5..1.5).contains(&x));
+            let y = rng.gen_range(-1.0..=1.0);
+            assert!((-1.0..=1.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn extreme_float_ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..1_000 {
+            // Span overflows `end - start`; lerp form must stay finite.
+            let v = rng.gen_range(f64::MIN..f64::MAX);
+            assert!(v.is_finite() && (f64::MIN..f64::MAX).contains(&v));
+            // Ulp-narrow range: only the start is a valid draw.
+            let lo = 1.0f64;
+            let hi = lo.next_up();
+            assert_eq!(rng.gen_range(lo..hi), lo);
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let heads = (0..10_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads), "heads = {heads}");
+    }
+
+    #[test]
+    fn below_is_unbiased_chi_square_sanity() {
+        // 6-sided die over 60k rolls: each face within 5% of expected.
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut counts = [0usize; 6];
+        for _ in 0..60_000 {
+            counts[rng.gen_range(0usize..6)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_500..10_500).contains(&c), "counts = {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_int_range_panics() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = rng.gen_range(5usize..5);
+    }
+
+    #[test]
+    fn clone_forks_the_stream() {
+        let mut a = StdRng::seed_from_u64(29);
+        a.next_u64();
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

@@ -51,7 +51,11 @@ impl Transmon {
     ///
     /// Panics if `frequency_ghz` is not positive.
     pub fn new(frequency_ghz: f64) -> Self {
-        Self::with_params(frequency_ghz, DEFAULT_ANHARMONICITY_GHZ, SINGLE_QUBIT_LEVELS)
+        Self::with_params(
+            frequency_ghz,
+            DEFAULT_ANHARMONICITY_GHZ,
+            SINGLE_QUBIT_LEVELS,
+        )
     }
 
     /// Creates a transmon with explicit parameters.
@@ -308,7 +312,10 @@ mod tests {
         let t = Transmon::new(6.21286);
         let dt = 0.04; // one 40 ps SFQ clock tick
         let lab = t.free_propagator(dt);
-        let rot = t.frame_propagator(t.frequency_ghz, dt).dagger().matmul(&lab);
+        let rot = t
+            .frame_propagator(t.frequency_ghz, dt)
+            .dagger()
+            .matmul(&lab);
         // In the qubit frame, the 0→1 relative phase vanishes.
         let rel = rot[(1, 1)] / rot[(0, 0)];
         assert!(rel.approx_eq(C64::ONE, 1e-12));

@@ -206,11 +206,7 @@ impl CoupledTransmons {
             }
             let n1 = (i / TWO_QUBIT_LEVELS) as f64;
             let n2 = (i % TWO_QUBIT_LEVELS) as f64;
-            C64::cis(
-                -2.0 * PI
-                    * (n1 * self.q1.frequency_ghz + n2 * self.q2.frequency_ghz)
-                    * t_ns,
-            )
+            C64::cis(-2.0 * PI * (n1 * self.q1.frequency_ghz + n2 * self.q2.frequency_ghz) * t_ns)
         })
     }
 
@@ -222,7 +218,8 @@ impl CoupledTransmons {
         let mut step = CMat::identity(self.dim());
         for &delta in &waveform.deltas {
             if delta != last_delta {
-                step = expm_hermitian_propagator(&self.hamiltonian(delta), 2.0 * PI * waveform.dt_ns);
+                step =
+                    expm_hermitian_propagator(&self.hamiltonian(delta), 2.0 * PI * waveform.dt_ns);
                 last_delta = delta;
             }
             u = step.matmul(&u);
@@ -315,9 +312,9 @@ mod tests {
         // Strip single-qubit z-phases: the CZ invariant is
         // φ00 − φ01 − φ10 + φ11 = π.
         let phase = m[(0, 0)].arg() - m[(1, 1)].arg() - m[(2, 2)].arg() + m[(3, 3)].arg();
-        let wrapped = (phase - PI).rem_euclid(2.0 * PI).min(
-            (PI - phase).rem_euclid(2.0 * PI),
-        );
+        let wrapped = (phase - PI)
+            .rem_euclid(2.0 * PI)
+            .min((PI - phase).rem_euclid(2.0 * PI));
         assert!(
             wrapped < 0.15,
             "conditional phase should be ≈π, got {phase} (dev {wrapped})"
@@ -331,7 +328,9 @@ mod tests {
         let u = p.propagate(&DetuningWaveform::square(0.3, 35.0, 0.25));
         let m = p.computational_block(&u);
         let phase = m[(0, 0)].arg() - m[(1, 1)].arg() - m[(2, 2)].arg() + m[(3, 3)].arg();
-        let dev_from_0 = phase.rem_euclid(2.0 * PI).min(2.0 * PI - phase.rem_euclid(2.0 * PI));
+        let dev_from_0 = phase
+            .rem_euclid(2.0 * PI)
+            .min(2.0 * PI - phase.rem_euclid(2.0 * PI));
         assert!(dev_from_0 < 0.3, "unexpected conditional phase {phase}");
     }
 
@@ -386,12 +385,7 @@ mod tests {
             for b in 0..n {
                 let pa = a as f64 / n as f64 * 2.0 * PI;
                 let pb = b as f64 / n as f64 * 2.0 * PI;
-                let zz = CMat::diag(&[
-                    C64::ONE,
-                    C64::cis(pb),
-                    C64::cis(pa),
-                    C64::cis(pa + pb),
-                ]);
+                let zz = CMat::diag(&[C64::ONE, C64::cis(pb), C64::cis(pa), C64::cis(pa + pb)]);
                 let err = average_gate_error(&zz.matmul(&m), &gates::cz());
                 best = best.min(err);
             }

@@ -1,10 +1,10 @@
 //! Property-based tests for the qsim numerical core.
 //!
-//! These pin down the algebraic invariants every other crate relies on:
-//! unitarity of propagators, spectral-decomposition consistency, fidelity
-//! bounds, and SU(2) group structure.
+//! Randomized cases are generated with the crate's own seeded RNG (no
+//! proptest offline). They pin down the algebraic invariants every other
+//! crate relies on: unitarity of propagators, spectral-decomposition
+//! consistency, fidelity bounds, and SU(2) group structure.
 
-use proptest::prelude::*;
 use qsim::complex::C64;
 use qsim::eigen::eigh;
 use qsim::expm::expm_hermitian_propagator;
@@ -12,128 +12,189 @@ use qsim::fidelity::{average_gate_fidelity, leakage};
 use qsim::gates::{self, Su2};
 use qsim::matrix::CMat;
 use qsim::pulse::{pack_bits, unpack_bits, SfqParams, SfqPulseSim};
+use qsim::rng::StdRng;
 use qsim::transmon::Transmon;
 
-fn hermitian_strategy(n: usize) -> impl Strategy<Value = CMat> {
-    proptest::collection::vec(-1.0f64..1.0, n * n * 2).prop_map(move |vals| {
-        let g = CMat::from_fn(n, n, |i, j| {
-            let k = (i * n + j) * 2;
-            C64::new(vals[k], vals[k + 1])
-        });
-        let gd = g.dagger();
-        CMat::from_fn(n, n, |i, j| (g[(i, j)] + gd[(i, j)]) * 0.5)
-    })
+const CASES: u64 = 64;
+
+fn random_hermitian(rng: &mut StdRng, n: usize) -> CMat {
+    let g = CMat::from_fn(n, n, |_, _| {
+        C64::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))
+    });
+    let gd = g.dagger();
+    CMat::from_fn(n, n, |i, j| (g[(i, j)] + gd[(i, j)]) * 0.5)
 }
 
-fn su2_strategy() -> impl Strategy<Value = CMat> {
-    (0.0f64..std::f64::consts::PI, -3.2f64..3.2, -3.2f64..3.2)
-        .prop_map(|(theta, phi, lam)| gates::u_zyz(theta, phi, lam))
+fn random_su2(rng: &mut StdRng) -> CMat {
+    gates::u_zyz(
+        rng.gen_range(0.0..std::f64::consts::PI),
+        rng.gen_range(-3.2..3.2),
+        rng.gen_range(-3.2..3.2),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_bits(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<bool> {
+    let len = rng.gen_range(lo..hi);
+    (0..len).map(|_| rng.gen::<bool>()).collect()
+}
 
-    #[test]
-    fn complex_field_axioms(ar in -10.0f64..10.0, ai in -10.0f64..10.0,
-                            br in -10.0f64..10.0, bi in -10.0f64..10.0) {
-        let a = C64::new(ar, ai);
-        let b = C64::new(br, bi);
+#[test]
+fn complex_field_axioms() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let a = C64::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
+        let b = C64::new(rng.gen_range(-10.0..10.0), rng.gen_range(-10.0..10.0));
         // Commutativity and distributivity.
-        prop_assert!((a * b).approx_eq(b * a, 1e-12));
-        prop_assert!((a + b).approx_eq(b + a, 1e-12));
+        assert!((a * b).approx_eq(b * a, 1e-12), "case {case}");
+        assert!((a + b).approx_eq(b + a, 1e-12), "case {case}");
         let c = C64::new(1.3, -0.4);
-        prop_assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-9));
+        assert!((a * (b + c)).approx_eq(a * b + a * c, 1e-9), "case {case}");
         // Conjugation is an involution and multiplicative.
-        prop_assert!(a.conj().conj().approx_eq(a, 0.0));
-        prop_assert!((a * b).conj().approx_eq(a.conj() * b.conj(), 1e-9));
+        assert!(a.conj().conj().approx_eq(a, 0.0), "case {case}");
+        assert!(
+            (a * b).conj().approx_eq(a.conj() * b.conj(), 1e-9),
+            "case {case}"
+        );
         // |ab| = |a||b|.
-        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+        assert!(
+            ((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9,
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn eigh_reconstructs_and_is_unitary(h in hermitian_strategy(5)) {
+#[test]
+fn eigh_reconstructs_and_is_unitary() {
+    for case in 0..CASES {
+        let h = random_hermitian(&mut StdRng::seed_from_u64(case), 5);
         let e = eigh(&h);
-        prop_assert!(e.vectors.is_unitary(1e-9));
-        prop_assert!(e.reconstruct().approx_eq(&h, 1e-8));
+        assert!(e.vectors.is_unitary(1e-9), "case {case}");
+        assert!(e.reconstruct().approx_eq(&h, 1e-8), "case {case}");
         // Eigenvalues sorted ascending.
         for w in e.values.windows(2) {
-            prop_assert!(w[0] <= w[1] + 1e-10);
+            assert!(w[0] <= w[1] + 1e-10, "case {case}");
         }
     }
+}
 
-    #[test]
-    fn propagator_unitary_and_group_law(h in hermitian_strategy(4),
-                                        t1 in 0.0f64..3.0, t2 in 0.0f64..3.0) {
+#[test]
+fn propagator_unitary_and_group_law() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let h = random_hermitian(&mut rng, 4);
+        let t1 = rng.gen_range(0.0..3.0);
+        let t2 = rng.gen_range(0.0..3.0);
         let u1 = expm_hermitian_propagator(&h, t1);
         let u2 = expm_hermitian_propagator(&h, t2);
         let u12 = expm_hermitian_propagator(&h, t1 + t2);
-        prop_assert!(u1.is_unitary(1e-9));
-        prop_assert!(u2.matmul(&u1).approx_eq(&u12, 1e-8));
+        assert!(u1.is_unitary(1e-9), "case {case}");
+        assert!(u2.matmul(&u1).approx_eq(&u12, 1e-8), "case {case}");
     }
+}
 
-    #[test]
-    fn fidelity_bounds_and_phase_invariance(u in su2_strategy(), v in su2_strategy(),
-                                            phase in 0.0f64..6.28) {
+#[test]
+fn fidelity_bounds_and_phase_invariance() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let u = random_su2(&mut rng);
+        let v = random_su2(&mut rng);
+        let phase = rng.gen_range(0.0..6.28);
         let f = average_gate_fidelity(&u, &v);
-        prop_assert!((0.0..=1.0).contains(&f));
+        assert!((0.0..=1.0).contains(&f), "case {case}");
         // Global phase on either argument changes nothing.
         let fp = average_gate_fidelity(&u.scale(C64::cis(phase)), &v);
-        prop_assert!((f - fp).abs() < 1e-10);
+        assert!((f - fp).abs() < 1e-10, "case {case}");
         // Self-fidelity is 1.
-        prop_assert!((average_gate_fidelity(&u, &u) - 1.0).abs() < 1e-10);
+        assert!(
+            (average_gate_fidelity(&u, &u) - 1.0).abs() < 1e-10,
+            "case {case}"
+        );
         // Unitaries have no leakage.
-        prop_assert!(leakage(&u) < 1e-10);
+        assert!(leakage(&u) < 1e-10, "case {case}");
     }
+}
 
-    #[test]
-    fn su2_group_axioms(a in su2_strategy(), b in su2_strategy()) {
+#[test]
+fn su2_group_axioms() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let a = random_su2(&mut rng);
+        let b = random_su2(&mut rng);
         let qa = Su2::from_matrix(&a);
         let qb = Su2::from_matrix(&b);
         // Composition matches matrix product (up to phase).
         let qc = qa.compose(qb);
         let m = a.matmul(&b);
-        prop_assert!(gates::phase_distance(&qc.to_matrix(), &m) < 1e-9);
+        assert!(
+            gates::phase_distance(&qc.to_matrix(), &m) < 1e-9,
+            "case {case}"
+        );
         // Inverse law.
         // The sqrt-based metric amplifies 1e-16 rounding to ~1e-8, hence
         // the 1e-7 tolerances.
-        prop_assert!(qa.compose(qa.inverse()).distance(Su2::IDENTITY) < 1e-7);
+        assert!(
+            qa.compose(qa.inverse()).distance(Su2::IDENTITY) < 1e-7,
+            "case {case}"
+        );
         // Distance symmetry and identity.
-        prop_assert!((qa.distance(qb) - qb.distance(qa)).abs() < 1e-12);
-        prop_assert!(qa.distance(qa) < 1e-7);
+        assert!(
+            (qa.distance(qb) - qb.distance(qa)).abs() < 1e-12,
+            "case {case}"
+        );
+        assert!(qa.distance(qa) < 1e-7, "case {case}");
     }
+}
 
-    #[test]
-    fn zyz_decomposition_roundtrip(u in su2_strategy(), phase in 0.0f64..6.28) {
+#[test]
+fn zyz_decomposition_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let u = random_su2(&mut rng);
+        let phase = rng.gen_range(0.0..6.28);
         let phased = u.scale(C64::cis(phase));
         let (theta, phi, lam, g) = gates::zyz_angles(&phased);
         let rebuilt = gates::u_zyz(theta, phi, lam).scale(C64::cis(g));
-        prop_assert!(rebuilt.approx_eq(&phased, 1e-8),
-                     "err = {}", rebuilt.max_abs_diff(&phased));
+        assert!(
+            rebuilt.approx_eq(&phased, 1e-8),
+            "case {case}: err = {}",
+            rebuilt.max_abs_diff(&phased)
+        );
     }
+}
 
-    #[test]
-    fn paper_form_decomposition_roundtrip(u in su2_strategy()) {
+#[test]
+fn paper_form_decomposition_roundtrip() {
+    for case in 0..CASES {
+        let u = random_su2(&mut StdRng::seed_from_u64(case));
         let (p1, p2, p3) = gates::paper_angles(&u);
         let rebuilt = gates::u_paper(p3, p2, p1);
-        prop_assert!(gates::phase_distance(&rebuilt, &u) < 1e-8);
+        assert!(gates::phase_distance(&rebuilt, &u) < 1e-8, "case {case}");
     }
+}
 
-    #[test]
-    fn bitstream_evolution_is_unitary(bits in proptest::collection::vec(any::<bool>(), 1..120),
-                                      freq in 4.0f64..7.0) {
+#[test]
+fn bitstream_evolution_is_unitary() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let bits = random_bits(&mut rng, 1, 120);
+        let freq = rng.gen_range(4.0..7.0);
         let sim = SfqPulseSim::new(Transmon::new(freq), SfqParams::default());
         let u = sim.frame_gate(&bits);
-        prop_assert!(u.is_unitary(1e-8));
+        assert!(u.is_unitary(1e-8), "case {case}");
         // Projected gate never gains norm.
         let q = sim.frame_gate_qubit(&bits);
-        prop_assert!(leakage(&q) >= -1e-12);
+        assert!(leakage(&q) >= -1e-12, "case {case}");
         let fid = average_gate_fidelity(&q, &gates::id2());
-        prop_assert!((0.0..=1.0).contains(&fid));
+        assert!((0.0..=1.0).contains(&fid), "case {case}");
     }
+}
 
-    #[test]
-    fn bitstream_concatenation_composes(b1 in proptest::collection::vec(any::<bool>(), 1..40),
-                                        b2 in proptest::collection::vec(any::<bool>(), 1..40)) {
+#[test]
+fn bitstream_concatenation_composes() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let b1 = random_bits(&mut rng, 1, 40);
+        let b2 = random_bits(&mut rng, 1, 40);
         // Frame gates compose with the delay conjugation accounted for:
         // lab gates compose exactly.
         let sim = SfqPulseSim::new(Transmon::new(6.21286), SfqParams::default());
@@ -141,26 +202,35 @@ proptest! {
         cat.extend_from_slice(&b2);
         let lhs = sim.lab_gate(&cat);
         let rhs = sim.lab_gate(&b2).matmul(&sim.lab_gate(&b1));
-        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+        assert!(lhs.approx_eq(&rhs, 1e-9), "case {case}");
     }
+}
 
-    #[test]
-    fn pack_unpack_is_identity(bits in proptest::collection::vec(any::<bool>(), 0..512)) {
+#[test]
+fn pack_unpack_is_identity() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let bits = random_bits(&mut rng, 0, 512);
         let packed = pack_bits(&bits);
         let back = unpack_bits(&packed, bits.len());
-        prop_assert_eq!(bits, back);
+        assert_eq!(bits, back, "case {case}");
     }
+}
 
-    #[test]
-    fn phase_distance_is_a_pseudometric(a in su2_strategy(), b in su2_strategy(),
-                                        c in su2_strategy()) {
+#[test]
+fn phase_distance_is_a_pseudometric() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let a = random_su2(&mut rng);
+        let b = random_su2(&mut rng);
+        let c = random_su2(&mut rng);
         let dab = gates::phase_distance(&a, &b);
         let dba = gates::phase_distance(&b, &a);
-        prop_assert!((dab - dba).abs() < 1e-9);
-        prop_assert!(gates::phase_distance(&a, &a) < 1e-10);
+        assert!((dab - dba).abs() < 1e-9, "case {case}");
+        assert!(gates::phase_distance(&a, &a) < 1e-10, "case {case}");
         // Triangle inequality (with numerical slack).
         let dac = gates::phase_distance(&a, &c);
         let dcb = gates::phase_distance(&c, &b);
-        prop_assert!(dab <= dac + dcb + 1e-9);
+        assert!(dab <= dac + dcb + 1e-9, "case {case}");
     }
 }

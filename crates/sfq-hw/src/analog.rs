@@ -163,27 +163,15 @@ impl CurrentWaveform {
         if peak <= 0.0 {
             return None;
         }
-        let t10 = self
-            .samples_ma
-            .iter()
-            .position(|&v| v >= 0.1 * peak)? as f64
-            * self.dt_ns;
-        let t90 = self
-            .samples_ma
-            .iter()
-            .position(|&v| v >= 0.9 * peak)? as f64
-            * self.dt_ns;
+        let t10 = self.samples_ma.iter().position(|&v| v >= 0.1 * peak)? as f64 * self.dt_ns;
+        let t90 = self.samples_ma.iter().position(|&v| v >= 0.9 * peak)? as f64 * self.dt_ns;
         Some(t90 - t10)
     }
 
     /// Duration (ns) spent above 90% of peak — the usable flux plateau.
     pub fn plateau_ns(&self) -> f64 {
         let peak = self.peak_ma();
-        self.samples_ma
-            .iter()
-            .filter(|&&v| v >= 0.9 * peak)
-            .count() as f64
-            * self.dt_ns
+        self.samples_ma.iter().filter(|&&v| v >= 0.9 * peak).count() as f64 * self.dt_ns
     }
 }
 
@@ -196,7 +184,11 @@ mod tests {
         let gen = CurrentGenerator::paper_fig4();
         assert!((gen.plateau_ma() - 1.2).abs() < 0.01);
         let wave = gen.simulate(70.0, 0.25);
-        assert!((wave.peak_ma() - 1.2).abs() < 0.06, "peak {}", wave.peak_ma());
+        assert!(
+            (wave.peak_ma() - 1.2).abs() < 0.06,
+            "peak {}",
+            wave.peak_ma()
+        );
     }
 
     #[test]
@@ -215,16 +207,8 @@ mod tests {
         let gen = CurrentGenerator::paper_fig4();
         let wave = gen.simulate(80.0, 0.1);
         // Above-threshold window ≈ stop − start = 50 ns plateau plus ramps.
-        let above: f64 = wave
-            .samples_ma
-            .iter()
-            .filter(|&&v| v > 0.06)
-            .count() as f64
-            * wave.dt_ns;
-        assert!(
-            (45.0..70.0).contains(&above),
-            "active window {above:.1} ns"
-        );
+        let above: f64 = wave.samples_ma.iter().filter(|&&v| v > 0.06).count() as f64 * wave.dt_ns;
+        assert!((45.0..70.0).contains(&above), "active window {above:.1} ns");
     }
 
     #[test]

@@ -27,8 +27,8 @@
 //! absolute scale.
 
 use crate::cells::CellType;
+use crate::json::{Json, ToJson};
 use crate::netlist::{Netlist, NetlistStats};
-use serde::{Deserialize, Serialize};
 
 /// Magnetic flux quantum in mV·ps (≡ 2.07 × 10⁻¹⁵ Wb).
 pub const PHI0_MV_PS: f64 = 2.07;
@@ -72,7 +72,7 @@ impl Default for CostModel {
 }
 
 /// Power / area / delay report for a module or a composed design.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct CostReport {
     /// Total power in watts.
     pub power_w: f64,
@@ -84,19 +84,28 @@ pub struct CostReport {
     pub total_jj: u64,
 }
 
+impl ToJson for CostReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("power_w", self.power_w.to_json()),
+            ("area_mm2", self.area_mm2.to_json()),
+            ("worst_stage_ps", self.worst_stage_ps.to_json()),
+            ("total_jj", self.total_jj.to_json()),
+        ])
+    }
+}
+
 impl CostModel {
     /// Static + dynamic power of a stats block, in watts.
     pub fn power_w(&self, stats: &NetlistStats) -> f64 {
         let n_sfqdc = stats.count(CellType::SfqDc);
-        let digital_jj =
-            stats.total_jj - n_sfqdc * CellType::SfqDc.jj_count() as u64;
+        let digital_jj = stats.total_jj - n_sfqdc * CellType::SfqDc.jj_count() as u64;
         let jj = digital_jj as f64 * self.wiring_jj_overhead;
         // Static: I·V per JJ. (µA · mV = nW)
         let static_nw = jj * self.bias_current_per_jj_ua * self.bias_voltage_mv;
         // Dynamic: E_sw = I_c·Φ₀ per switch (µA · mV·ps = 1e-21 J ⇒ zJ).
         let esw_zj = self.bias_current_per_jj_ua * PHI0_MV_PS;
-        let dynamic_nw =
-            jj * esw_zj * 1e-21 * self.clock_ghz * 1e9 * self.switching_activity * 1e9;
+        let dynamic_nw = jj * esw_zj * 1e-21 * self.clock_ghz * 1e9 * self.switching_activity * 1e9;
         let analog_nw = n_sfqdc as f64 * self.sfqdc_analog_nw;
         (static_nw + dynamic_nw + analog_nw) * 1e-9
     }
@@ -136,8 +145,7 @@ impl CostModel {
                 };
                 // First balancing DFF on the edge is itself a stage sink.
                 if node.in_dffs[pin] > 0 {
-                    worst = worst
-                        .max(out_time[src.index()] + wire + CellType::DroDff.delay_ps());
+                    worst = worst.max(out_time[src.index()] + wire + CellType::DroDff.delay_ps());
                 }
                 arrival = arrival.max(launched + wire);
             }

@@ -461,7 +461,11 @@ mod tests {
             tapped_delay_line(32, &[0, 8, 16]),
         ] {
             synthesize(&mut nl);
-            assert!(nl.validate().is_ok(), "{} invalid post-synthesis", nl.name());
+            assert!(
+                nl.validate().is_ok(),
+                "{} invalid post-synthesis",
+                nl.name()
+            );
             assert!(
                 check_balance(&nl).is_ok(),
                 "{} unbalanced post-synthesis",

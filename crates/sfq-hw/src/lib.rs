@@ -37,6 +37,7 @@ pub mod cables;
 pub mod cells;
 pub mod cost;
 pub mod generators;
+pub mod json;
 pub mod netlist;
 pub mod passes;
 

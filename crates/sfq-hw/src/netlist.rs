@@ -133,7 +133,10 @@ impl fmt::Display for NetlistError {
                 "node {node} ({cell}) has {actual} inputs, expected {expected}"
             ),
             NetlistError::CombinationalCycle => {
-                write!(f, "combinational cycle detected (feedback must be registered)")
+                write!(
+                    f,
+                    "combinational cycle detected (feedback must be registered)"
+                )
             }
             NetlistError::FeedbackIntoNonStorage { node } => {
                 write!(f, "feedback edge terminates at non-storage node {node}")
@@ -232,7 +235,9 @@ impl Netlist {
 
     /// Adds `n` primary inputs at once.
     pub fn inputs(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
-        (0..n).map(|i| self.input(&format!("{prefix}{i}"))).collect()
+        (0..n)
+            .map(|i| self.input(&format!("{prefix}{i}")))
+            .collect()
     }
 
     /// Adds a gate driven by `fanin`.
@@ -538,8 +543,7 @@ mod tests {
         let order = nl.topo_order().unwrap();
         assert_eq!(order.len(), 4);
         // Every gate appears after its fanins.
-        let pos: HashMap<NodeId, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<NodeId, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for (id, node) in nl.iter() {
             for f in &node.fanin {
                 assert!(pos[f] < pos[&id]);
@@ -603,6 +607,8 @@ mod tests {
             actual: 1,
         };
         assert!(e.to_string().contains("node 3"));
-        assert!(NetlistError::CombinationalCycle.to_string().contains("cycle"));
+        assert!(NetlistError::CombinationalCycle
+            .to_string()
+            .contains("cycle"));
     }
 }

@@ -115,7 +115,9 @@ pub fn stage_depths(nl: &Netlist) -> Result<Vec<u32>, NetlistError> {
 ///
 /// Panics if the netlist contains a combinational cycle (validate first).
 pub fn path_balance(nl: &mut Netlist) -> u64 {
-    let order = nl.topo_order().expect("path_balance requires acyclic netlist");
+    let order = nl
+        .topo_order()
+        .expect("path_balance requires acyclic netlist");
     let mut depth = vec![0u32; nl.len()];
     let mut inserted = 0u64;
     for id in order {
@@ -255,8 +257,7 @@ pub fn check_balance(nl: &Netlist) -> Result<(), NodeId> {
             }
         }
         let own = if node.is_clocked() { 1 } else { 0 };
-        depth[id.index()] =
-            arrivals.into_iter().max().unwrap_or(0) + own + node.out_dffs;
+        depth[id.index()] = arrivals.into_iter().max().unwrap_or(0) + own + node.out_dffs;
     }
     Ok(())
 }
@@ -397,7 +398,10 @@ mod tests {
         let weights = nl.stats();
         let phys = materialize_balancing(&nl);
         let pstats = phys.stats();
-        assert_eq!(pstats.count(CellType::DroDff), weights.count(CellType::DroDff));
+        assert_eq!(
+            pstats.count(CellType::DroDff),
+            weights.count(CellType::DroDff)
+        );
         assert_eq!(pstats.total_jj, weights.total_jj);
         assert!(phys.validate().is_ok());
         // Physical netlist has zero residual edge weights.

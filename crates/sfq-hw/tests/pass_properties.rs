@@ -1,12 +1,13 @@
 //! Property-based tests for the RSFQ synthesis passes.
 //!
-//! Random DAGs are generated, pushed through the full synthesis flow, and
+//! Random DAGs are generated (seeded, via the workspace's internal RNG —
+//! no proptest offline), pushed through the full synthesis flow, and
 //! checked against the structural invariants the cost model relies on:
 //! legality of fanout, full path balance, retiming's conservation of
 //! input-to-output stage counts, and equality between the edge-weight
 //! bookkeeping and physically materialized DFF chains.
 
-use proptest::prelude::*;
+use qsim::rng::StdRng;
 use sfq_hw::cells::CellType;
 use sfq_hw::netlist::{Netlist, NodeId};
 use sfq_hw::passes::{
@@ -14,114 +15,142 @@ use sfq_hw::passes::{
     synthesize,
 };
 
-/// Strategy: a random DAG described by, for each gate, a cell choice and
-/// fanin picks (indices into the already-built prefix).
-fn random_netlist() -> impl Strategy<Value = Netlist> {
-    let gate_plan = proptest::collection::vec(
-        (0u8..5, any::<u32>(), any::<u32>()),
-        1..40,
-    );
-    (2usize..6, gate_plan).prop_map(|(n_inputs, plan)| {
-        let mut nl = Netlist::new("prop");
-        let mut pool: Vec<NodeId> = nl.inputs("i", n_inputs);
-        for (kind, s1, s2) in plan {
-            let a = pool[(s1 as usize) % pool.len()];
-            let b = pool[(s2 as usize) % pool.len()];
-            let id = match kind {
-                0 => nl.gate(CellType::And2, &[a, b]),
-                1 => nl.gate(CellType::Or2, &[a, b]),
-                2 => nl.gate(CellType::Xor2, &[a, b]),
-                3 => nl.gate(CellType::Not, &[a]),
-                _ => nl.gate(CellType::DroDff, &[a]),
-            };
-            pool.push(id);
+const CASES: u64 = 48;
+
+/// A random DAG: for each gate, a cell choice and fanin picks (indices
+/// into the already-built prefix).
+fn random_netlist(rng: &mut StdRng) -> Netlist {
+    let n_inputs = rng.gen_range(2usize..6);
+    let n_gates = rng.gen_range(1usize..40);
+    let mut nl = Netlist::new("prop");
+    let mut pool: Vec<NodeId> = nl.inputs("i", n_inputs);
+    for _ in 0..n_gates {
+        let a = pool[rng.gen_range(0..pool.len())];
+        let b = pool[rng.gen_range(0..pool.len())];
+        let id = match rng.gen_range(0u32..5) {
+            0 => nl.gate(CellType::And2, &[a, b]),
+            1 => nl.gate(CellType::Or2, &[a, b]),
+            2 => nl.gate(CellType::Xor2, &[a, b]),
+            3 => nl.gate(CellType::Not, &[a]),
+            _ => nl.gate(CellType::DroDff, &[a]),
+        };
+        pool.push(id);
+    }
+    // Mark sinks (nodes with no fanout) as outputs.
+    let fo = nl.fanout_counts();
+    for id in nl.ids().collect::<Vec<_>>() {
+        if fo[id.index()] == 0 && nl.node(id).cell().is_some() {
+            nl.mark_output("o", id);
         }
-        // Mark sinks (nodes with no fanout) as outputs.
-        let fo = nl.fanout_counts();
-        for id in nl.ids().collect::<Vec<_>>() {
-            if fo[id.index()] == 0 && nl.node(id).cell().is_some() {
-                nl.mark_output("o", id);
-            }
-        }
-        nl
-    })
+    }
+    nl
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn synthesis_preserves_validity(mut nl in random_netlist()) {
-        prop_assert!(nl.validate().is_ok());
+#[test]
+fn synthesis_preserves_validity() {
+    for case in 0..CASES {
+        let mut nl = random_netlist(&mut StdRng::seed_from_u64(case));
+        assert!(nl.validate().is_ok(), "case {case}: invalid before");
         synthesize(&mut nl);
-        prop_assert!(nl.validate().is_ok());
+        assert!(nl.validate().is_ok(), "case {case}: invalid after");
     }
+}
 
-    #[test]
-    fn fanout_is_legal_after_splitter_insertion(mut nl in random_netlist()) {
+#[test]
+fn fanout_is_legal_after_splitter_insertion() {
+    for case in 0..CASES {
+        let mut nl = random_netlist(&mut StdRng::seed_from_u64(case));
         insert_splitters(&mut nl);
         let fo = nl.fanout_counts();
         for (id, node) in nl.iter() {
             let max = node.cell().map_or(1, CellType::max_fanout);
-            prop_assert!(
+            assert!(
                 (fo[id.index()] as usize) <= max,
-                "node {:?} fanout {} exceeds {}", id, fo[id.index()], max
+                "case {case}: node {:?} fanout {} exceeds {}",
+                id,
+                fo[id.index()],
+                max
             );
         }
     }
+}
 
-    #[test]
-    fn balance_invariant_holds_after_flow(mut nl in random_netlist()) {
+#[test]
+fn balance_invariant_holds_after_flow() {
+    for case in 0..CASES {
+        let mut nl = random_netlist(&mut StdRng::seed_from_u64(case));
         synthesize(&mut nl);
-        prop_assert!(check_balance(&nl).is_ok());
+        assert!(check_balance(&nl).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn retiming_never_increases_dffs_and_keeps_balance(mut nl in random_netlist()) {
+#[test]
+fn retiming_never_increases_dffs_and_keeps_balance() {
+    for case in 0..CASES {
+        let mut nl = random_netlist(&mut StdRng::seed_from_u64(case));
         insert_splitters(&mut nl);
         path_balance(&mut nl);
         let before = nl.stats().balancing_dffs;
         let depths_before = stage_depths(&nl).unwrap();
         let saved = retime(&mut nl);
         let after = nl.stats().balancing_dffs;
-        prop_assert_eq!(before - after, saved);
-        prop_assert!(check_balance(&nl).is_ok());
+        assert_eq!(before - after, saved, "case {case}");
+        assert!(check_balance(&nl).is_ok(), "case {case}");
         // Output stage depths unchanged (retiming conserves path weights).
         let depths_after = stage_depths(&nl).unwrap();
         for (name, id) in nl.outputs() {
-            prop_assert_eq!(
-                depths_before[id.index()], depths_after[id.index()],
-                "output {} depth changed", name
+            assert_eq!(
+                depths_before[id.index()],
+                depths_after[id.index()],
+                "case {case}: output {name} depth changed"
             );
         }
     }
+}
 
-    #[test]
-    fn materialized_netlist_matches_weights(mut nl in random_netlist()) {
+#[test]
+fn materialized_netlist_matches_weights() {
+    for case in 0..CASES {
+        let mut nl = random_netlist(&mut StdRng::seed_from_u64(case));
         synthesize(&mut nl);
         let weights = nl.stats();
         let phys = materialize_balancing(&nl);
-        prop_assert!(phys.validate().is_ok());
+        assert!(phys.validate().is_ok(), "case {case}");
         let pstats = phys.stats();
-        prop_assert_eq!(pstats.count(CellType::DroDff), weights.count(CellType::DroDff));
-        prop_assert_eq!(pstats.total_jj, weights.total_jj);
-        prop_assert!(check_balance(&phys).is_ok());
+        assert_eq!(
+            pstats.count(CellType::DroDff),
+            weights.count(CellType::DroDff),
+            "case {case}"
+        );
+        assert_eq!(pstats.total_jj, weights.total_jj, "case {case}");
+        assert!(check_balance(&phys).is_ok(), "case {case}");
     }
+}
 
-    #[test]
-    fn path_balance_is_idempotent(mut nl in random_netlist()) {
+#[test]
+fn path_balance_is_idempotent() {
+    for case in 0..CASES {
+        let mut nl = random_netlist(&mut StdRng::seed_from_u64(case));
         insert_splitters(&mut nl);
         path_balance(&mut nl);
         let again = path_balance(&mut nl);
-        prop_assert_eq!(again, 0);
+        assert_eq!(again, 0, "case {case}");
     }
+}
 
-    #[test]
-    fn stats_scale_linearly(nl in random_netlist(), k in 1u64..20) {
+#[test]
+fn stats_scale_linearly() {
+    for case in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(case);
+        let nl = random_netlist(&mut rng);
+        let k = rng.gen_range(1u64..20);
         let one = nl.stats();
         let mut many = sfq_hw::netlist::NetlistStats::default();
         many.add_scaled(&one, k);
-        prop_assert_eq!(many.total_jj, one.total_jj * k);
-        prop_assert!((many.cell_area_um2 - one.cell_area_um2 * k as f64).abs() < 1e-6);
+        assert_eq!(many.total_jj, one.total_jj * k, "case {case}");
+        assert!(
+            (many.cell_area_um2 - one.cell_area_um2 * k as f64).abs() < 1e-6,
+            "case {case}"
+        );
     }
 }

@@ -6,8 +6,8 @@
 //! ```
 
 use digiq::digiq_core::design::ControllerDesign;
-use digiq::digiq_core::hardware::build_hardware;
 use digiq::digiq_core::design::SystemConfig;
+use digiq::digiq_core::hardware::build_hardware;
 use digiq::digiq_core::scalability::{max_qubits, POWER_BUDGET_W};
 use digiq::sfq_hw::cost::CostModel;
 
@@ -41,10 +41,7 @@ fn main() {
         let biggest = hw
             .modules
             .iter()
-            .max_by(|a, b| {
-                (a.stats.total_jj * a.count)
-                    .cmp(&(b.stats.total_jj * b.count))
-            })
+            .max_by(|a, b| (a.stats.total_jj * a.count).cmp(&(b.stats.total_jj * b.count)))
             .unwrap();
         println!("    dominant block: {} ×{}", biggest.name, biggest.count);
     }

@@ -11,7 +11,10 @@ use digiq::calib::parking::{best_delay_for_angle, parking_search, worst_rz_error
 fn main() {
     println!("searching 4.0–6.5 GHz for Rz parking frequencies (N = 255, 40 ps clock)…");
     let rows = parking_search((4.0, 6.5), 0.040, 255, 1.0e-4, 5.0e-5, 5);
-    println!("{:>12}  {:>12}  {:>10}", "freq (GHz)", "tol (±GHz)", "error");
+    println!(
+        "{:>12}  {:>12}  {:>10}",
+        "freq (GHz)", "tol (±GHz)", "error"
+    );
     for r in &rows {
         println!(
             "{:>12.5}  {:>12.5}  {:>10.2e}",

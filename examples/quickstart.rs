@@ -12,14 +12,21 @@ use digiq::sfq_hw::cost::CostModel;
 
 fn main() {
     // 1. Pick a design point: DigiQ_opt with 8 broadcast delays, 2 groups.
-    let system = DigiqSystem::build(ControllerDesign::DigiqOpt { bs: 8 }, 2, &CostModel::default());
+    let system = DigiqSystem::build(
+        ControllerDesign::DigiqOpt { bs: 8 },
+        2,
+        &CostModel::default(),
+    );
 
     // 2. The synthesized hardware (Fig 8's numbers for this point).
     let hw = system.hardware.as_ref().expect("buildable design");
     println!("hardware @ 1,024 qubits:");
     println!("  power      {:8.3} W", hw.report.power_w);
     println!("  area       {:8.1} mm2", hw.report.area_mm2);
-    println!("  worst stage{:8.1} ps (40 ps clock)", hw.report.worst_stage_ps);
+    println!(
+        "  worst stage{:8.1} ps (40 ps clock)",
+        hw.report.worst_stage_ps
+    );
     println!("  cables     {:8}", hw.cables);
     println!("  JJs        {:8}", hw.report.total_jj);
 
@@ -35,7 +42,10 @@ fn main() {
 
     // 4. Compile: lower → route on the 32×32 grid → schedule → execute.
     let report = system.evaluate_circuit("ghz32+t", &circuit);
-    println!("\nexecution of {} ({} logical gates):", report.benchmark, report.logical_gates);
+    println!(
+        "\nexecution of {} ({} logical gates):",
+        report.benchmark, report.logical_gates
+    );
     println!("  SWAPs inserted      {:8}", report.swaps);
     println!("  schedule slots      {:8}", report.slots);
     println!("  total time          {:8.1} ns", report.exec.total_ns);

@@ -46,5 +46,8 @@ fn main() {
             best = best.min(average_gate_error(&gate, &target));
         }
     }
-    println!("error vs Ry(π/2)·Rz-frame: {best:.2e}, leakage {:.2e}", leakage(&gate));
+    println!(
+        "error vs Ry(π/2)·Rz-frame: {best:.2e}, leakage {:.2e}",
+        leakage(&gate)
+    );
 }

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the digiq workspace, runnable fully offline.
+#
+#   scripts/ci.sh          # build + tests + fmt check
+#   scripts/ci.sh --smoke  # also run every bench binary (--small) and the
+#                          # kernel micro-benchmarks in quick mode
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    echo "==> bench binaries (--small)"
+    for b in table1_design_space table2_parking table3_cells fig2_trajectory \
+             fig3_cycle fig4_waveform fig7_cz_error fig8_synthesis \
+             fig9_exec_time fig10_gate_error scalability; do
+        echo "--- $b"
+        cargo run -q --release --offline -p digiq-bench --bin "$b" -- --small
+    done
+
+    echo "==> examples"
+    for e in quickstart design_space_tour parking_frequencies sfq_bloch_trajectory; do
+        echo "--- $e"
+        cargo run -q --release --offline --example "$e"
+    done
+
+    echo "==> kernel micro-benchmarks (quick)"
+    cargo bench --offline -p digiq-bench --bench kernels -- --quick
+fi
+
+echo "CI OK"

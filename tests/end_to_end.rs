@@ -34,12 +34,15 @@ fn software_calibration_closes_the_loop() {
             },
         },
     );
-    assert!(found.error < 2e-3, "bitstream search error {:.2e}", found.error);
+    assert!(
+        found.error < 2e-3,
+        "bitstream search error {:.2e}",
+        found.error
+    );
 
     // Drift the qubit by +6 MHz (the paper's σ scale) and recalibrate.
     let drifted = Transmon::new(6.21286 + 0.006);
-    let ubs =
-        digiq::calib::bitstream::basis_op_for_qubit(&found.bits, drifted, params);
+    let ubs = digiq::calib::bitstream::basis_op_for_qubit(&found.bits, drifted, params);
     let basis = OptBasis::new(&ubs, drifted.frequency_ghz, params.clock_period_ns, 255);
     let target = digiq::qsim::gates::h();
     let dec = decompose_opt(&target, &basis, 0.0, 3, 1e-4);
@@ -117,8 +120,15 @@ fn benchmarks_and_budget() {
     ] {
         let sys = DigiqSystem::build(design, 2, &model);
         let hw = sys.hardware.expect("buildable");
-        assert!(hw.report.power_w < 10.0, "{design}: {} W", hw.report.power_w);
-        assert!(hw.report.worst_stage_ps < 40.0, "{design} misses the 40 ps clock");
+        assert!(
+            hw.report.power_w < 10.0,
+            "{design}: {} W",
+            hw.report.power_w
+        );
+        assert!(
+            hw.report.worst_stage_ps < 40.0,
+            "{design} misses the 40 ps clock"
+        );
     }
 }
 
@@ -130,7 +140,10 @@ fn parking_and_drift_are_consistent() {
     let rows = digiq::calib::parking::parking_search((6.1, 6.3), 0.040, 255, 1e-4, 1e-4, 1);
     assert!(!rows.is_empty());
     let f = rows[0].freq_ghz;
-    assert!((f - 6.21286).abs() < 0.08, "search strays from Table II: {f}");
+    assert!(
+        (f - 6.21286).abs() < 0.08,
+        "search strays from Table II: {f}"
+    );
 
     // Population parked there drifts within tolerance most of the time.
     let pop = digiq::calib::drift::sample_population(
