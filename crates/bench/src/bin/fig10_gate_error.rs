@@ -2,21 +2,30 @@
 //! DigiQ_opt(BS=8) and DigiQ_min(BS=2); (b) CZ error per coupler.
 //!
 //! Default: 64 qubits with coupler stride 4 (minutes). `--full`: all
-//! 1,024 qubits / 1,984 couplers (much longer).
+//! 1,024 qubits / 1,984 couplers (much longer). `--workers N` sets the
+//! error model's per-qubit/per-coupler worker pool (default: all cores,
+//! matching the evaluation engine's sharding).
+use digiq_core::engine::default_workers;
 use digiq_core::error_model::{calibrate_shared, fig10a, fig10b, ErrorModelConfig};
 
 fn main() {
     let full = digiq_bench::has_flag("--full");
-    let config = if full {
+    let mut config = if full {
         ErrorModelConfig::default()
     } else {
         let mut c = ErrorModelConfig::small(64);
         c.grid_cols = 8;
         c
     };
+    config.threads = digiq_bench::arg_value("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_workers);
     eprintln!("calibrating shared bitstreams…");
     let shared = calibrate_shared(&config);
-    eprintln!("evaluating per-qubit errors ({} qubits)…", config.n_qubits);
+    eprintln!(
+        "evaluating per-qubit errors ({} qubits, {} workers)…",
+        config.n_qubits, config.threads
+    );
     let rows = fig10a(&config, &shared);
     println!("# Fig 10a: qubit drift(GHz) opt_median min_median");
     for r in &rows {

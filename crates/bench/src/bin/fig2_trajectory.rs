@@ -1,20 +1,27 @@
 //! Regenerates Fig 2: Bloch-sphere trajectory of a qubit driven by a
 //! resonant SFQ pulse train (blue) vs free evolution (orange).
+//!
+//! The two trajectories are independent, so they run through the
+//! evaluation engine's ordered map (output order fixed regardless of
+//! scheduling).
+use digiq_core::engine::par_map_ordered;
 use qsim::pulse::{SfqParams, SfqPulseSim};
 use qsim::transmon::Transmon;
 
 fn main() {
     let sim = SfqPulseSim::new(Transmon::new(6.21286), SfqParams::default());
     let driven = sim.resonant_comb(16);
+    let mut free_prefixed = vec![true];
+    free_prefixed.extend_from_slice(&[false; 16]);
+    let pulse_trains = [driven, free_prefixed];
+    let trajectories = par_map_ordered(&pulse_trains, 2, |_, bits| sim.bloch_trajectory(bits));
+
     println!("# driven trajectory: tick x y z   (one SFQ pulse per qubit period)");
-    for (k, (x, y, z)) in sim.bloch_trajectory(&driven).iter().enumerate() {
+    for (k, (x, y, z)) in trajectories[0].iter().enumerate() {
         println!("D {k:4} {x:+.5} {y:+.5} {z:+.5}");
     }
-    let free = vec![false; 16];
     println!("# free evolution: tick x y z   (constant z, xy precession)");
-    let mut prefixed = vec![true];
-    prefixed.extend_from_slice(&free);
-    for (k, (x, y, z)) in sim.bloch_trajectory(&prefixed).iter().enumerate() {
+    for (k, (x, y, z)) in trajectories[1].iter().enumerate() {
         println!("F {k:4} {x:+.5} {y:+.5} {z:+.5}");
     }
 }

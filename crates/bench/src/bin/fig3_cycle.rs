@@ -1,12 +1,25 @@
 //! Regenerates Fig 3: the gate sequence inside one DigiQ_opt controller
 //! cycle — d "0"s (Rz via delay), the Ry(π/2) bitstream, and the residual
 //! Rz absorbed into the next cycle.
+//!
+//! `--json` emits the decomposition via `sfq_hw::json`.
 use calib::opt_decomp::{decompose_opt, OptBasis};
+use sfq_hw::json::{Json, ToJson};
 
 fn main() {
     let basis = OptBasis::ideal(255);
     let target = qsim::gates::h();
     let dec = decompose_opt(&target, &basis, 0.0, 2, 1e-6);
+    if digiq_bench::has_flag("--json") {
+        let delays: Vec<u64> = dec.delays.iter().map(|&d| d as u64).collect();
+        let json = Json::obj([
+            ("delays", delays.to_json()),
+            ("residual_rz_rad", dec.phi_out.to_json()),
+            ("error", dec.error.to_json()),
+        ]);
+        println!("{}", json.render());
+        return;
+    }
     println!("decomposing H on the ideal DigiQ_opt basis:");
     for (k, &d) in dec.delays.iter().enumerate() {
         println!(

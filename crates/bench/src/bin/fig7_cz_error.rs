@@ -2,7 +2,10 @@
 //! drift for echo sequences of 1, 2 and 3 Uqq pulses (ideal 1q gates).
 //!
 //! Default: 5×5 drift grid ±6 MHz (runtime ~minutes). `--small`: 3×3.
+//! The independent panels are sharded through the evaluation engine's
+//! ordered map, so output order is fixed for any worker count.
 use calib::cz::{calibrate_shared_pulse, fig7_panel};
+use digiq_core::engine::par_map_ordered;
 use qsim::two_qubit::CoupledTransmons;
 
 fn main() {
@@ -22,9 +25,13 @@ fn main() {
         "# calibrated shared pulse: nominal CZ error {:.2e} (paper ~3e-4)",
         pulse.nominal_error
     );
-    for n in 1..=pulses_max {
+    let panels: Vec<usize> = (1..=pulses_max).collect();
+    let results = par_map_ordered(&panels, panels.len(), |_, &n| {
+        fig7_panel(&pair, &pulse, n, 0.006, grid, 3)
+    });
+    for (n, points) in panels.iter().zip(&results) {
         println!("# panel {n}: {n} Uqq pulse(s); columns: drift1(GHz) drift2(GHz) error");
-        for p in fig7_panel(&pair, &pulse, n, 0.006, grid, 3) {
+        for p in points {
             println!(
                 "{n} {:+.4} {:+.4} {:.3e}",
                 p.drift1_ghz, p.drift2_ghz, p.error

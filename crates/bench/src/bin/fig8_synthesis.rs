@@ -1,8 +1,24 @@
 //! Regenerates Fig 8: power (a), area (b) and cable count (c) of every
 //! design point per 1,024 qubits, plus the §VI-A2 worst-stage delay.
+//!
+//! The 26 design points synthesize independently, so the sweep is
+//! sharded over `--workers` threads (default: all cores) through the
+//! evaluation engine's ordered map — rows always print in the canonical
+//! `fig8_points` order. `--json` emits the rows via `sfq_hw::json`.
+use digiq_core::engine::default_workers;
+use digiq_core::hardware::fig8_sweep_parallel;
+use sfq_hw::json::ToJson;
+
 fn main() {
-    let rows = digiq_core::hardware::fig8_sweep(&sfq_hw::cost::CostModel::default());
-    println!("Fig 8: hardware cost per 1,024 qubits");
+    let workers = digiq_bench::arg_value("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_workers);
+    let rows = fig8_sweep_parallel(&sfq_hw::cost::CostModel::default(), workers);
+    if digiq_bench::has_flag("--json") {
+        println!("{}", rows.to_json_string());
+        return;
+    }
+    println!("Fig 8: hardware cost per 1,024 qubits ({workers} synthesis workers)");
     digiq_bench::rule(86);
     println!(
         "{:22} | {:>3} | {:>9} | {:>11} | {:>7} | {:>10}",

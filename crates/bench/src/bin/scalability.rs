@@ -1,5 +1,21 @@
 //! Regenerates §VI-A3: maximum qubit counts within the 10 W budget.
+//!
+//! Tiles synthesize in parallel through the evaluation engine's hardware
+//! cache (`--workers`, default: all cores); `--json` emits the rows via
+//! `sfq_hw::json`.
+use digiq_core::engine::default_workers;
+use digiq_core::scalability::scalability_table_parallel;
+use sfq_hw::json::ToJson;
+
 fn main() {
+    let workers = digiq_bench::arg_value("--workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(default_workers);
+    let rows = scalability_table_parallel(&sfq_hw::cost::CostModel::default(), workers);
+    if digiq_bench::has_flag("--json") {
+        println!("{}", rows.to_json_string());
+        return;
+    }
     println!("Scalability at the 10 W 4K-stage budget (1,024-qubit tiles)");
     digiq_bench::rule(84);
     println!(
@@ -7,7 +23,7 @@ fn main() {
         "design", "tile W", "tile mm2", "max qubits", "cables"
     );
     digiq_bench::rule(84);
-    for r in digiq_core::scalability::scalability_table(&sfq_hw::cost::CostModel::default()) {
+    for r in rows {
         println!(
             "{:22} | {:>10.3} | {:>12.1} | {:>11} | {:>10}",
             r.design, r.tile_power_w, r.tile_area_mm2, r.max_qubits, r.cables_per_tile

@@ -1,0 +1,165 @@
+//! The batched sweep driver: runs designs × benchmarks × seeds through
+//! `digiq_core::engine`, sharded over worker threads with every shared
+//! artifact memoized, and emits a deterministic `SweepReport`.
+//!
+//! Modes:
+//!
+//! * default / `--small` — the four Table I designs × {QGAN, Ising, BV}
+//!   on an 8×8 grid;
+//! * `--full` — the five Fig 9 configurations × all six Table IV
+//!   benchmarks at paper scale (32×32 grid);
+//! * `--smoke` — a tiny 2-design × 2-benchmark sweep on a 4×4 grid with
+//!   2 workers, printing **only** the compact report JSON (the CI golden
+//!   check diffs this byte-for-byte);
+//! * `--compare-serial` — times the sweep on fresh engines with 1 worker
+//!   and with `--workers` workers, verifies the two serialized reports
+//!   are byte-identical, and prints the speedup.
+//!
+//! Common flags: `--workers N` (default: all cores), `--seeds N` (drift
+//! seeds `0..N`), `--json` (print the report JSON instead of the table).
+
+use digiq_core::design::ControllerDesign;
+use digiq_core::engine::{default_workers, EvalEngine, SweepReport, SweepSpec};
+use qcircuit::bench::{Benchmark, ALL_BENCHMARKS};
+use sfq_hw::cost::CostModel;
+use sfq_hw::json::ToJson;
+use std::time::Instant;
+
+fn spec_for_mode(smoke: bool, full: bool, seeds: usize) -> SweepSpec {
+    let spec = if smoke {
+        SweepSpec::small_grid(
+            vec![
+                ControllerDesign::SfqMimdNaive.into(),
+                ControllerDesign::DigiqOpt { bs: 8 }.into(),
+            ],
+            &[Benchmark::Bv, Benchmark::Qgan],
+            4,
+            4,
+        )
+    } else if full {
+        let mut s = SweepSpec::small_grid(SweepSpec::fig9_designs(), &ALL_BENCHMARKS, 32, 32);
+        s.benchmarks = ALL_BENCHMARKS
+            .iter()
+            .map(|&bench| digiq_core::engine::BenchmarkSpec {
+                bench,
+                scale: digiq_core::engine::BenchScale::Paper,
+            })
+            .collect();
+        s
+    } else {
+        SweepSpec::small_grid(
+            SweepSpec::table_one_designs(),
+            &[Benchmark::Qgan, Benchmark::Ising, Benchmark::Bv],
+            8,
+            8,
+        )
+    };
+    spec.with_seeds((0..seeds.max(1) as u64).collect())
+}
+
+fn print_table(report: &SweepReport) {
+    println!(
+        "sweep: {} jobs on the {}x{} grid",
+        report.jobs.len(),
+        report.grid_rows,
+        report.grid_cols
+    );
+    digiq_bench::rule(78);
+    println!(
+        "{:22} | {:>8} | {:>4} | {:>12} | {:>10}",
+        "design", "bench", "seed", "total (ns)", "vs MIMD"
+    );
+    digiq_bench::rule(78);
+    for job in &report.jobs {
+        println!(
+            "{:22} | {:>8} | {:>4} | {:>12.1} | {:>10.2}",
+            job.design.to_string(),
+            job.benchmark,
+            job.seed,
+            job.report.exec.total_ns,
+            job.report.normalized_time
+        );
+    }
+    digiq_bench::rule(78);
+    let c = &report.cache;
+    println!(
+        "cache: {} artifacts built, {} reused (circuits {}+{}, compiles {}+{}, seq-dbs {}+{})",
+        c.total_misses(),
+        c.total_hits(),
+        c.circuit_misses,
+        c.circuit_hits,
+        c.compile_misses,
+        c.compile_hits,
+        c.seq_db_misses,
+        c.seq_db_hits,
+    );
+}
+
+fn main() {
+    let smoke = digiq_bench::has_flag("--smoke");
+    let full = digiq_bench::has_flag("--full");
+    let seeds: usize = digiq_bench::arg_value("--seeds")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let workers: usize = if smoke {
+        2
+    } else {
+        digiq_bench::arg_value("--workers")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(default_workers)
+    };
+    let spec = spec_for_mode(smoke, full, seeds);
+
+    if digiq_bench::has_flag("--compare-serial") {
+        // The serial equivalent of the old hand-rolled loops: every job
+        // rebuilds its artifacts from scratch (a fresh engine per job, so
+        // nothing is shared — exactly what the per-figure binaries did
+        // before the engine existed).
+        let jobs = spec.jobs();
+        let t0 = Instant::now();
+        let naive: Vec<_> = jobs
+            .iter()
+            .map(|job| EvalEngine::new(CostModel::default()).run_job(&spec, job))
+            .collect();
+        let naive_ns = t0.elapsed().as_nanos() as f64;
+
+        let t1 = Instant::now();
+        let serial = EvalEngine::new(CostModel::default()).run(&spec, 1);
+        let serial_ns = t1.elapsed().as_nanos() as f64;
+        let t2 = Instant::now();
+        let parallel = EvalEngine::new(CostModel::default()).run(&spec, workers);
+        let parallel_ns = t2.elapsed().as_nanos() as f64;
+
+        assert_eq!(naive, serial.jobs, "caching changed the results");
+        let a = serial.to_json_string();
+        let b = parallel.to_json_string();
+        assert_eq!(a, b, "worker count changed the serialized report");
+        println!(
+            "serial, no sharing:    {}  (artifacts rebuilt per job)",
+            digiq_bench::timing::fmt_ns(naive_ns)
+        );
+        println!(
+            "engine, 1 worker:      {}",
+            digiq_bench::timing::fmt_ns(serial_ns)
+        );
+        println!(
+            "engine, {workers} workers:     {}",
+            digiq_bench::timing::fmt_ns(parallel_ns)
+        );
+        println!(
+            "engine speedup {:.2}x over the serial equivalent ({} jobs); \
+             reports byte-identical across worker counts ({} bytes)",
+            naive_ns / parallel_ns.max(1.0),
+            spec.job_count(),
+            a.len()
+        );
+        return;
+    }
+
+    let report = EvalEngine::new(CostModel::default()).run(&spec, workers);
+    if smoke || digiq_bench::has_flag("--json") {
+        println!("{}", report.to_json_string());
+    } else {
+        print_table(&report);
+    }
+}

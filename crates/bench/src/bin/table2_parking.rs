@@ -1,8 +1,32 @@
 //! Regenerates Table II: optimal parking frequencies and drift tolerance
 //! for delay-implemented Rz gates with error ≤ 1e-4 at N = 255.
+//!
+//! `--max-rows N` caps the ranked rows (default 3, the paper's count);
+//! `--json` emits the rows via `sfq_hw::json`.
+use sfq_hw::json::{Json, ToJson};
+
 fn main() {
     let fine = digiq_bench::has_flag("--full");
     let step = if fine { 2.0e-5 } else { 1.0e-4 };
+    let max_rows = digiq_bench::arg_value("--max-rows")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let rows = calib::parking::parking_search((4.0, 6.5), 0.040, 255, 1.0e-4, step, max_rows);
+    if digiq_bench::has_flag("--json") {
+        let json = Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj([
+                        ("freq_ghz", r.freq_ghz.to_json()),
+                        ("drift_tolerance_ghz", r.drift_tolerance_ghz.to_json()),
+                        ("center_error", r.center_error.to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        println!("{}", json.render());
+        return;
+    }
     println!("Table II: optimal parking frequencies (N=255, err ≤ 1e-4, 40 ps clock)");
     println!("search band 4.0–6.5 GHz, step {step} GHz");
     digiq_bench::rule(66);
@@ -11,7 +35,6 @@ fn main() {
         "parking freq (GHz)", "drift tol (± GHz)", "center err"
     );
     digiq_bench::rule(66);
-    let rows = calib::parking::parking_search((4.0, 6.5), 0.040, 255, 1.0e-4, step, 3);
     for r in &rows {
         println!(
             "{:>22.5} | {:>22.5} | {:>12.2e}",

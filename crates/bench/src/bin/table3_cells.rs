@@ -1,5 +1,27 @@
 //! Regenerates Table III: the RSFQ cell library.
+//!
+//! `--json` emits the rows via `sfq_hw::json`.
+use sfq_hw::json::{Json, ToJson};
+
 fn main() {
+    if digiq_bench::has_flag("--json") {
+        let json = Json::Arr(
+            sfq_hw::cells::ALL_CELLS
+                .iter()
+                .map(|c| {
+                    Json::obj([
+                        ("cell", c.mnemonic().to_json()),
+                        ("area_um2", c.area_um2().to_json()),
+                        ("jj_count", c.jj_count().to_json()),
+                        ("delay_ps", c.delay_ps().to_json()),
+                        ("in_table_iii", c.in_table_iii().to_json()),
+                    ])
+                })
+                .collect(),
+        );
+        println!("{}", json.render());
+        return;
+    }
     println!("Table III: RSFQ cell library");
     digiq_bench::rule(56);
     println!(

@@ -16,6 +16,13 @@
 //! | `fig9_exec_time`      | Fig 9 (normalized execution time) |
 //! | `fig10_gate_error`    | Fig 10a/b (per-qubit and per-coupler errors) |
 //! | `scalability`         | §VI-A3 (max qubits at 10 W) |
+//! | `sweep`               | batched design × benchmark × seed sweeps via `digiq_core::engine` |
+//!
+//! The sweep-shaped binaries are driven by the batched evaluation engine
+//! (`digiq_core::engine`): jobs shard over `--workers` threads (default:
+//! every core), shared artifacts are memoized in keyed caches, and output
+//! is deterministic for any worker count. `sweep --compare-serial`
+//! measures the parallel speedup and proves byte-identical reports.
 //!
 //! Heavier harnesses accept `--small` / `--full` to trade fidelity for
 //! runtime (defaults regenerate a faithful reduced grid; `--full` matches

@@ -18,6 +18,14 @@
 use qsim::gates::Su2;
 use qsim::matrix::CMat;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A reference-counted, thread-shareable sequence database. Building a
+/// [`SequenceDb`] is by far the most expensive step of the DigiQ_min
+/// workflow, so batched evaluations (`digiq_core::engine`) build each
+/// distinct basis's database once and hand clones of this handle to every
+/// worker.
+pub type SharedSequenceDb = Arc<SequenceDb>;
 
 /// The discrete per-qubit basis.
 #[derive(Debug, Clone)]
@@ -149,6 +157,17 @@ impl SequenceDb {
             hash.entry(cell_key(*q, res)).or_default().push(i as u32);
         }
         SequenceDb { entries, hash, res }
+    }
+
+    /// Builds the database behind a shareable handle (see
+    /// [`SharedSequenceDb`]); decomposition takes `&SequenceDb`, so the
+    /// handle derefs straight into [`decompose_min`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn build_shared(basis: &MinBasis, depth: usize) -> SharedSequenceDb {
+        Arc::new(SequenceDb::build(basis, depth))
     }
 
     /// Number of distinct products stored.
@@ -377,6 +396,25 @@ mod tests {
             dec.error,
             dec_h.error
         );
+    }
+
+    #[test]
+    fn shared_handle_decomposes_across_threads() {
+        let basis = MinBasis::ideal_ry_t();
+        let db = SequenceDb::build_shared(&basis, 8);
+        let errs: Vec<f64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let db = Arc::clone(&db);
+                    let basis = &basis;
+                    s.spawn(move || decompose_min(&gates::s(), basis, &db, 1e-6).error)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for e in errs {
+            assert!(e < 1e-9);
+        }
     }
 
     #[test]

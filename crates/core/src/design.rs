@@ -78,6 +78,42 @@ impl ToJson for ControllerDesign {
     }
 }
 
+impl ControllerDesign {
+    /// Reads a design back from its [`ToJson`] form (unit variants as
+    /// strings, struct variants externally tagged). The inverse of
+    /// [`ControllerDesign::to_json`]; used by the sweep-report reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        if let Some(name) = j.as_str() {
+            return match name {
+                "SfqMimdNaive" => Ok(ControllerDesign::SfqMimdNaive),
+                "SfqMimdDecomp" => Ok(ControllerDesign::SfqMimdDecomp),
+                "ImpossibleMimd" => Ok(ControllerDesign::ImpossibleMimd),
+                other => Err(format!("unknown design variant `{other}`")),
+            };
+        }
+        for (variant, make) in [
+            (
+                "DigiqMin",
+                (|bs| ControllerDesign::DigiqMin { bs }) as fn(usize) -> _,
+            ),
+            ("DigiqOpt", |bs| ControllerDesign::DigiqOpt { bs }),
+        ] {
+            if let Some(body) = j.get(variant) {
+                let bs = body.count_field("bs", variant)?;
+                if bs == 0 {
+                    return Err(format!("`{variant}.bs` must be a positive integer"));
+                }
+                return Ok(make(bs as usize));
+            }
+        }
+        Err("expected a design name or tagged variant object".to_string())
+    }
+}
+
 impl fmt::Display for ControllerDesign {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
@@ -319,6 +355,26 @@ mod tests {
         assert!(ControllerDesign::DigiqMin { bs: 2 }.is_simd());
         assert!(!ControllerDesign::ImpossibleMimd.is_simd());
         assert_eq!(ControllerDesign::DigiqOpt { bs: 4 }.bs(), Some(4));
+    }
+
+    #[test]
+    fn design_json_round_trips() {
+        for d in [
+            ControllerDesign::SfqMimdNaive,
+            ControllerDesign::SfqMimdDecomp,
+            ControllerDesign::ImpossibleMimd,
+            ControllerDesign::DigiqMin { bs: 2 },
+            ControllerDesign::DigiqOpt { bs: 16 },
+        ] {
+            assert_eq!(ControllerDesign::from_json(&d.to_json()), Ok(d));
+        }
+        assert!(ControllerDesign::from_json(&"Bogus".to_json()).is_err());
+        assert!(ControllerDesign::from_json(&Json::obj([(
+            "DigiqMin",
+            Json::obj([("bs", Json::Num(-1.0))])
+        )]))
+        .is_err());
+        assert!(ControllerDesign::from_json(&Json::Num(3.0)).is_err());
     }
 
     #[test]

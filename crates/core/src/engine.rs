@@ -1,0 +1,987 @@
+//! Batched, multi-threaded evaluation engine with a keyed artifact cache.
+//!
+//! The paper's evaluation (Fig 8–10, Tables I–II) is one large sweep over
+//! design points × benchmarks × drift seeds. Run naïvely, every point
+//! re-synthesizes hardware, re-compiles circuits and re-builds sequence
+//! databases from scratch; this module turns the sweep into a batched
+//! pipeline instead:
+//!
+//! * a declarative [`SweepSpec`] enumerates the jobs (design-major, then
+//!   benchmark, then seed — the job index is the merge order);
+//! * [`EvalEngine::run`] shards jobs across `std::thread::scope` workers
+//!   pulling from an atomic counter;
+//! * expensive shared artifacts are memoized in [`KeyedCache`]s so no
+//!   artifact is built twice across the sweep: synthesized
+//!   [`DesignHardware`] per (design, groups), generated benchmark
+//!   circuits per (benchmark, scale), lowered/routed/scheduled
+//!   [`CompiledCircuit`]s per (circuit, layout, grid) fingerprint
+//!   ([`Circuit::cache_key`] / `Layout::cache_key`), and sequence
+//!   databases / length distributions per [`MinBasisKind`].
+//!
+//! Results are **deterministic regardless of worker count**: jobs are
+//! pure functions of the spec (per-job exec seeds are derived by hashing
+//! the spec's base seed with the job's drift seed), artifact construction
+//! is deterministic, and records merge in job-index order. A sweep run
+//! with 1 worker is byte-identical — serialized through
+//! [`sfq_hw::json`] — to the same sweep with N workers, and cache hits
+//! never change results versus a cold run (see
+//! `crates/core/tests/engine_determinism.rs`).
+//!
+//! ```
+//! use digiq_core::design::ControllerDesign;
+//! use digiq_core::engine::{EvalEngine, SweepSpec};
+//! use qcircuit::bench::Benchmark;
+//! use sfq_hw::json::ToJson;
+//!
+//! let spec = SweepSpec::small_grid(
+//!     vec![ControllerDesign::DigiqOpt { bs: 8 }.into()],
+//!     &[Benchmark::Bv],
+//!     4,
+//!     4,
+//! );
+//! let engine = EvalEngine::new(Default::default());
+//! let report = engine.run(&spec, 2);
+//! assert_eq!(report.jobs.len(), 1);
+//! assert!(report.jobs[0].report.normalized_time >= 1.0);
+//! let json = report.to_json_string();
+//! assert_eq!(digiq_core::engine::SweepReport::parse(&json), Ok(report));
+//! ```
+
+use crate::design::{ControllerDesign, SystemConfig};
+use crate::exec::{checkerboard_groups, execute, ExecParams, ExecReport};
+use crate::hardware::{build_hardware, DesignHardware};
+use crate::system::{measured_min_lengths_with_db, BenchmarkReport, MinBasisKind};
+use calib::min_decomp::{SequenceDb, SharedSequenceDb};
+use qcircuit::bench::Benchmark;
+use qcircuit::ir::Circuit;
+use qcircuit::lower::lower_to_cz;
+use qcircuit::mapping::{route, Layout, RouterConfig};
+use qcircuit::schedule::{schedule_crosstalk_aware, Slot};
+use qcircuit::topology::Grid;
+use sfq_hw::cost::CostModel;
+use sfq_hw::json::{Json, ToJson};
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A thread-safe memoization cache: the first caller of a key runs the
+/// builder exactly once while concurrent callers of the same key block on
+/// the same [`OnceLock`] and then share the built [`Arc`]. Hit/miss
+/// counts are deterministic for a fixed job set regardless of worker
+/// count: misses = builder executions (once per distinct key), hits =
+/// lookups − misses.
+#[derive(Debug)]
+pub struct KeyedCache<K, V> {
+    map: Mutex<HashMap<K, Arc<OnceLock<Arc<V>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K, V> Default for KeyedCache<K, V> {
+    fn default() -> Self {
+        KeyedCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> KeyedCache<K, V> {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        KeyedCache::default()
+    }
+
+    /// Returns the cached value for `key`, building it with `build` on
+    /// first use. Concurrent callers of the same key block until the one
+    /// running builder finishes, so no artifact is ever built twice.
+    pub fn get_or_build<F: FnOnce() -> V>(&self, key: K, build: F) -> Arc<V> {
+        let slot = {
+            let mut map = self.map.lock().unwrap();
+            Arc::clone(map.entry(key).or_default())
+        };
+        let mut built = false;
+        let value = Arc::clone(slot.get_or_init(|| {
+            built = true;
+            Arc::new(build())
+        }));
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        value
+    }
+
+    /// Lookups that found an already-built value.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that ran the builder.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct keys resident.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The number of workers a sweep uses when the caller does not care:
+/// every available core.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map: `f(i, &items[i])` runs on a pool of
+/// `workers` scoped threads pulling indices from an atomic counter, and
+/// the results are returned **in input order** regardless of worker count
+/// or scheduling — the merge step every deterministic sweep binary uses.
+///
+/// # Panics
+///
+/// Propagates any panic raised inside `f`.
+pub fn par_map_ordered<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = workers.max(1).min(items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().unwrap() = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker completed every claimed job")
+        })
+        .collect()
+}
+
+/// Scale at which a benchmark instance is generated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchScale {
+    /// The paper-scale instance ([`Benchmark::paper_scale`], 32×32 grid).
+    Paper,
+    /// A reduced instance fitting `max_qubits` ([`Benchmark::scaled`]).
+    Small {
+        /// Qubit budget of the instance.
+        max_qubits: usize,
+    },
+}
+
+/// One benchmark axis entry of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BenchmarkSpec {
+    /// Which Table IV benchmark.
+    pub bench: Benchmark,
+    /// At which scale.
+    pub scale: BenchScale,
+}
+
+/// One design axis entry of a sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// The controller architecture.
+    pub design: ControllerDesign,
+    /// Frequency-group count `G`.
+    pub groups: usize,
+}
+
+impl From<ControllerDesign> for DesignPoint {
+    /// A design at the paper's default `G = 2`.
+    fn from(design: ControllerDesign) -> Self {
+        DesignPoint { design, groups: 2 }
+    }
+}
+
+/// A declarative sweep: designs × benchmarks × seeds on one device grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSpec {
+    /// Design axis.
+    pub designs: Vec<DesignPoint>,
+    /// Benchmark axis.
+    pub benchmarks: Vec<BenchmarkSpec>,
+    /// Drift-seed axis (each value yields one job per design × benchmark;
+    /// per-job exec seeds are `hash(base_seed, seed)`).
+    pub seeds: Vec<u64>,
+    /// Device grid rows.
+    pub grid_rows: usize,
+    /// Device grid columns.
+    pub grid_cols: usize,
+    /// Also synthesize (and cache) each design's hardware, recording its
+    /// power in the job records.
+    pub synthesize_hardware: bool,
+    /// Salt mixed into every derived per-job seed.
+    pub base_seed: u64,
+}
+
+/// One enumerated job of a sweep (a single design × benchmark × seed
+/// point, with its fixed merge index).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobSpec {
+    /// Merge position in the report.
+    pub index: usize,
+    /// Design point.
+    pub point: DesignPoint,
+    /// Benchmark instance.
+    pub bench: BenchmarkSpec,
+    /// Drift seed from the spec.
+    pub seed: u64,
+}
+
+impl SweepSpec {
+    /// A small-grid sweep over `designs` × `benchmarks` with one seed:
+    /// every benchmark is generated at the grid's qubit budget.
+    pub fn small_grid(
+        designs: Vec<DesignPoint>,
+        benchmarks: &[Benchmark],
+        grid_rows: usize,
+        grid_cols: usize,
+    ) -> Self {
+        let max_qubits = grid_rows * grid_cols;
+        SweepSpec {
+            designs,
+            benchmarks: benchmarks
+                .iter()
+                .map(|&bench| BenchmarkSpec {
+                    bench,
+                    scale: BenchScale::Small { max_qubits },
+                })
+                .collect(),
+            seeds: vec![0],
+            grid_rows,
+            grid_cols,
+            synthesize_hardware: false,
+            base_seed: 0xD161_5EED,
+        }
+    }
+
+    /// The four Table I designs at the paper's default group count.
+    pub fn table_one_designs() -> Vec<DesignPoint> {
+        vec![
+            DesignPoint {
+                design: ControllerDesign::SfqMimdNaive,
+                groups: 1,
+            },
+            DesignPoint {
+                design: ControllerDesign::SfqMimdDecomp,
+                groups: 1,
+            },
+            ControllerDesign::DigiqMin { bs: 2 }.into(),
+            ControllerDesign::DigiqOpt { bs: 8 }.into(),
+        ]
+    }
+
+    /// The five configurations plotted in Fig 9.
+    pub fn fig9_designs() -> Vec<DesignPoint> {
+        vec![
+            ControllerDesign::DigiqMin { bs: 2 }.into(),
+            ControllerDesign::DigiqMin { bs: 4 }.into(),
+            ControllerDesign::DigiqOpt { bs: 4 }.into(),
+            ControllerDesign::DigiqOpt { bs: 8 }.into(),
+            ControllerDesign::DigiqOpt { bs: 16 }.into(),
+        ]
+    }
+
+    /// Replaces the drift-seed axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty axis, or on seeds at or above 2⁵³ — report
+    /// seeds serialize as JSON numbers, and larger values would silently
+    /// lose precision and break the `parse(serialize(x)) == x` guarantee.
+    #[must_use]
+    pub fn with_seeds(mut self, seeds: Vec<u64>) -> Self {
+        assert!(!seeds.is_empty(), "a sweep needs at least one seed");
+        assert!(
+            seeds.iter().all(|&s| s < (1u64 << 53)),
+            "seeds must stay below 2^53 to round-trip exactly through JSON"
+        );
+        self.seeds = seeds;
+        self
+    }
+
+    /// Enables hardware synthesis for every buildable design point.
+    #[must_use]
+    pub fn with_hardware(mut self) -> Self {
+        self.synthesize_hardware = true;
+        self
+    }
+
+    /// Total job count (the full cross product).
+    pub fn job_count(&self) -> usize {
+        self.designs.len() * self.benchmarks.len() * self.seeds.len()
+    }
+
+    /// Enumerates the jobs in merge order (design-major, then benchmark,
+    /// then seed).
+    pub fn jobs(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for &point in &self.designs {
+            for &bench in &self.benchmarks {
+                for &seed in &self.seeds {
+                    jobs.push(JobSpec {
+                        index: jobs.len(),
+                        point,
+                        bench,
+                        seed,
+                    });
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// A fully compiled circuit artifact, shared by every design and seed
+/// evaluating the same (benchmark, grid, layout): lowering, routing and
+/// crosstalk scheduling are design-independent, so the engine builds this
+/// once per key.
+#[derive(Debug)]
+pub struct CompiledCircuit {
+    /// Logical gate count before routing.
+    pub logical_gates: usize,
+    /// SWAPs inserted by the router.
+    pub swaps: usize,
+    /// The routed, CZ-lowered physical circuit.
+    pub physical: Circuit,
+    /// Crosstalk-aware schedule slots.
+    pub slots: Vec<Slot>,
+}
+
+/// Deterministic seed derivation — the repo's pinned stable hash of
+/// `(base, salt)`, identical across processes and toolchains (derived
+/// seeds reach golden files through the executor).
+pub fn derive_seed(base: u64, salt: u64) -> u64 {
+    qsim::rng::stable_hash(&[base, salt])
+}
+
+/// Cache accounting of one sweep run (deterministic for a fixed spec —
+/// see [`KeyedCache`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Benchmark-circuit cache hits.
+    pub circuit_hits: u64,
+    /// Benchmark-circuit generations.
+    pub circuit_misses: u64,
+    /// Compiled-circuit cache hits.
+    pub compile_hits: u64,
+    /// Lower/route/schedule pipeline executions.
+    pub compile_misses: u64,
+    /// Hardware cache hits.
+    pub hardware_hits: u64,
+    /// Hardware syntheses.
+    pub hardware_misses: u64,
+    /// Sequence-database cache hits.
+    pub seq_db_hits: u64,
+    /// Sequence-database builds.
+    pub seq_db_misses: u64,
+    /// Length-distribution cache hits.
+    pub min_lengths_hits: u64,
+    /// Length-distribution measurements.
+    pub min_lengths_misses: u64,
+    /// Baseline-execution cache hits.
+    pub baseline_hits: u64,
+    /// Baseline (Impossible MIMD) executions.
+    pub baseline_misses: u64,
+}
+
+impl CacheStats {
+    /// Component-wise difference (`self − earlier`), for snapshotting one
+    /// run out of a long-lived engine.
+    #[must_use]
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            circuit_hits: self.circuit_hits - earlier.circuit_hits,
+            circuit_misses: self.circuit_misses - earlier.circuit_misses,
+            compile_hits: self.compile_hits - earlier.compile_hits,
+            compile_misses: self.compile_misses - earlier.compile_misses,
+            hardware_hits: self.hardware_hits - earlier.hardware_hits,
+            hardware_misses: self.hardware_misses - earlier.hardware_misses,
+            seq_db_hits: self.seq_db_hits - earlier.seq_db_hits,
+            seq_db_misses: self.seq_db_misses - earlier.seq_db_misses,
+            min_lengths_hits: self.min_lengths_hits - earlier.min_lengths_hits,
+            min_lengths_misses: self.min_lengths_misses - earlier.min_lengths_misses,
+            baseline_hits: self.baseline_hits - earlier.baseline_hits,
+            baseline_misses: self.baseline_misses - earlier.baseline_misses,
+        }
+    }
+
+    /// Total lookups that reused an artifact.
+    pub fn total_hits(&self) -> u64 {
+        self.circuit_hits
+            + self.compile_hits
+            + self.hardware_hits
+            + self.seq_db_hits
+            + self.min_lengths_hits
+            + self.baseline_hits
+    }
+
+    /// Total artifacts built.
+    pub fn total_misses(&self) -> u64 {
+        self.circuit_misses
+            + self.compile_misses
+            + self.hardware_misses
+            + self.seq_db_misses
+            + self.min_lengths_misses
+            + self.baseline_misses
+    }
+}
+
+const CACHE_FIELDS: [&str; 12] = [
+    "circuit_hits",
+    "circuit_misses",
+    "compile_hits",
+    "compile_misses",
+    "hardware_hits",
+    "hardware_misses",
+    "seq_db_hits",
+    "seq_db_misses",
+    "min_lengths_hits",
+    "min_lengths_misses",
+    "baseline_hits",
+    "baseline_misses",
+];
+
+impl CacheStats {
+    fn field(&self, name: &str) -> u64 {
+        match name {
+            "circuit_hits" => self.circuit_hits,
+            "circuit_misses" => self.circuit_misses,
+            "compile_hits" => self.compile_hits,
+            "compile_misses" => self.compile_misses,
+            "hardware_hits" => self.hardware_hits,
+            "hardware_misses" => self.hardware_misses,
+            "seq_db_hits" => self.seq_db_hits,
+            "seq_db_misses" => self.seq_db_misses,
+            "min_lengths_hits" => self.min_lengths_hits,
+            "min_lengths_misses" => self.min_lengths_misses,
+            "baseline_hits" => self.baseline_hits,
+            "baseline_misses" => self.baseline_misses,
+            _ => unreachable!("unknown cache field"),
+        }
+    }
+
+    fn field_mut(&mut self, name: &str) -> &mut u64 {
+        match name {
+            "circuit_hits" => &mut self.circuit_hits,
+            "circuit_misses" => &mut self.circuit_misses,
+            "compile_hits" => &mut self.compile_hits,
+            "compile_misses" => &mut self.compile_misses,
+            "hardware_hits" => &mut self.hardware_hits,
+            "hardware_misses" => &mut self.hardware_misses,
+            "seq_db_hits" => &mut self.seq_db_hits,
+            "seq_db_misses" => &mut self.seq_db_misses,
+            "min_lengths_hits" => &mut self.min_lengths_hits,
+            "min_lengths_misses" => &mut self.min_lengths_misses,
+            "baseline_hits" => &mut self.baseline_hits,
+            "baseline_misses" => &mut self.baseline_misses,
+            _ => unreachable!("unknown cache field"),
+        }
+    }
+
+    /// Reads the stats back from their [`ToJson`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let mut out = CacheStats::default();
+        for name in CACHE_FIELDS {
+            *out.field_mut(name) = j.count_field(name, "cache stats")?;
+        }
+        Ok(out)
+    }
+}
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj(CACHE_FIELDS.map(|name| (name, self.field(name).to_json())))
+    }
+}
+
+/// One merged sweep result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Controller design.
+    pub design: ControllerDesign,
+    /// Group count `G`.
+    pub groups: usize,
+    /// Benchmark display name.
+    pub benchmark: String,
+    /// Width of the generated benchmark instance.
+    pub n_qubits: usize,
+    /// Drift seed of this job.
+    pub seed: u64,
+    /// Synthesized power, W (present when the spec requested hardware and
+    /// the design is buildable).
+    pub power_w: Option<f64>,
+    /// The full evaluation report.
+    pub report: BenchmarkReport,
+}
+
+impl ToJson for JobRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", self.design.to_json()),
+            ("groups", self.groups.to_json()),
+            ("benchmark", self.benchmark.to_json()),
+            ("n_qubits", self.n_qubits.to_json()),
+            ("seed", self.seed.to_json()),
+            ("power_w", self.power_w.to_json()),
+            ("report", self.report.to_json()),
+        ])
+    }
+}
+
+impl JobRecord {
+    /// Reads a record back from its [`ToJson`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "job record";
+        let power_w = match j.get("power_w") {
+            None => return Err("job record missing `power_w`".to_string()),
+            Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or("job record `power_w` must be null or a number")?,
+            ),
+        };
+        Ok(JobRecord {
+            design: ControllerDesign::from_json(
+                j.get("design").ok_or("job record missing `design`")?,
+            )?,
+            groups: j.count_field("groups", CTX)? as usize,
+            benchmark: j.str_field("benchmark", CTX)?.to_string(),
+            n_qubits: j.count_field("n_qubits", CTX)? as usize,
+            seed: j.count_field("seed", CTX)?,
+            power_w,
+            report: BenchmarkReport::from_json(
+                j.get("report").ok_or("job record missing `report`")?,
+            )?,
+        })
+    }
+}
+
+/// The aggregated result of one sweep, serializable through
+/// [`sfq_hw::json`] and readable back via [`SweepReport::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Device grid rows.
+    pub grid_rows: usize,
+    /// Device grid columns.
+    pub grid_cols: usize,
+    /// One record per job, in merge (job-index) order.
+    pub jobs: Vec<JobRecord>,
+    /// Cache accounting for this run.
+    pub cache: CacheStats,
+}
+
+impl ToJson for SweepReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("grid_rows", self.grid_rows.to_json()),
+            ("grid_cols", self.grid_cols.to_json()),
+            ("jobs", self.jobs.to_json()),
+            ("cache", self.cache.to_json()),
+        ])
+    }
+}
+
+impl SweepReport {
+    /// Reads a report back from its [`ToJson`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "sweep report";
+        let jobs = match j.get("jobs") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(JobRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("sweep report missing array `jobs`".to_string()),
+        };
+        Ok(SweepReport {
+            grid_rows: j.count_field("grid_rows", CTX)? as usize,
+            grid_cols: j.count_field("grid_cols", CTX)? as usize,
+            jobs,
+            cache: CacheStats::from_json(j.get("cache").ok_or("sweep report missing `cache`")?)?,
+        })
+    }
+
+    /// Parses a serialized report (the inverse of
+    /// [`ToJson::to_json_string`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON syntax error or the first structural mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        SweepReport::from_json(&j)
+    }
+}
+
+/// The batched evaluation engine: holds the cost model and every keyed
+/// artifact cache. Cheap to share behind `&self` — all methods are
+/// thread-safe — and long-lived engines keep their caches warm across
+/// [`EvalEngine::run`] calls.
+#[derive(Debug, Default)]
+pub struct EvalEngine {
+    model: CostModel,
+    circuits: KeyedCache<(Benchmark, BenchScale, u64), Circuit>,
+    compiled: KeyedCache<CompileKey, CompiledCircuit>,
+    hardware: KeyedCache<(ControllerDesign, usize), DesignHardware>,
+    seq_dbs: KeyedCache<MinBasisKind, SequenceDb>,
+    min_lengths: KeyedCache<MinBasisKind, Vec<usize>>,
+    baselines: KeyedCache<CompileKey, ExecReport>,
+}
+
+/// Cache key of a compiled artifact: (circuit fingerprint, layout
+/// fingerprint, grid rows, grid cols).
+type CompileKey = (u64, u64, usize, usize);
+
+fn compile_key(circuit: &Circuit, grid: &Grid) -> CompileKey {
+    let layout = Layout::snake(circuit.n_qubits(), grid);
+    (
+        circuit.cache_key(),
+        layout.cache_key(),
+        grid.rows(),
+        grid.cols(),
+    )
+}
+
+impl EvalEngine {
+    /// Creates an engine with empty caches.
+    pub fn new(model: CostModel) -> Self {
+        EvalEngine {
+            model,
+            ..EvalEngine::default()
+        }
+    }
+
+    /// The benchmark circuit for a spec entry, generated at most once per
+    /// (benchmark, scale, seed).
+    pub fn benchmark_circuit(&self, spec: BenchmarkSpec, base_seed: u64) -> Arc<Circuit> {
+        self.circuits
+            .get_or_build((spec.bench, spec.scale, base_seed), || match spec.scale {
+                BenchScale::Paper => spec.bench.paper_scale(),
+                BenchScale::Small { max_qubits } => spec.bench.scaled(max_qubits, base_seed),
+            })
+    }
+
+    /// The lowered, routed, crosstalk-scheduled artifact of `circuit` on
+    /// `grid` with a snake initial layout, compiled at most once per
+    /// (circuit, layout, grid) fingerprint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit needs more qubits than the grid has.
+    pub fn compiled(&self, circuit: &Circuit, grid: &Grid) -> Arc<CompiledCircuit> {
+        self.compiled.get_or_build(compile_key(circuit, grid), || {
+            let layout = Layout::snake(circuit.n_qubits(), grid);
+            let lowered = lower_to_cz(circuit);
+            let routed = route(&lowered, grid, layout, &RouterConfig::default());
+            let physical = lower_to_cz(&routed.circuit);
+            let slots = schedule_crosstalk_aware(&physical, grid);
+            CompiledCircuit {
+                logical_gates: circuit.len(),
+                swaps: routed.swap_count,
+                physical,
+                slots,
+            }
+        })
+    }
+
+    /// The synthesized hardware of a design point (paper-default system
+    /// configuration), built at most once per (design, groups). Returns
+    /// `None` for the unbuildable Impossible MIMD reference.
+    pub fn hardware(&self, design: ControllerDesign, groups: usize) -> Option<Arc<DesignHardware>> {
+        if design == ControllerDesign::ImpossibleMimd {
+            return None;
+        }
+        Some(self.hardware.get_or_build((design, groups), || {
+            build_hardware(&SystemConfig::paper_default(design, groups), &self.model)
+        }))
+    }
+
+    /// The shared sequence database for a basis kind, built at most once
+    /// and handed out as a [`SharedSequenceDb`] handle.
+    pub fn sequence_db(&self, kind: MinBasisKind) -> SharedSequenceDb {
+        self.seq_dbs
+            .get_or_build(kind, || SequenceDb::build(&kind.basis(), kind.half_depth()))
+    }
+
+    /// The measured sequence-length distribution a design's executor
+    /// charges, derived from the cached database; `None` for designs that
+    /// do not decompose over a discrete basis.
+    pub fn min_lengths(&self, design: ControllerDesign) -> Option<Arc<Vec<usize>>> {
+        if !matches!(
+            design,
+            ControllerDesign::DigiqMin { .. } | ControllerDesign::SfqMimdDecomp
+        ) {
+            return None;
+        }
+        let kind = MinBasisKind::for_design(design);
+        let db = self.sequence_db(kind);
+        Some(
+            self.min_lengths
+                .get_or_build(kind, || measured_min_lengths_with_db(&kind.basis(), &db)),
+        )
+    }
+
+    /// Current cumulative cache accounting.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            circuit_hits: self.circuits.hits(),
+            circuit_misses: self.circuits.misses(),
+            compile_hits: self.compiled.hits(),
+            compile_misses: self.compiled.misses(),
+            hardware_hits: self.hardware.hits(),
+            hardware_misses: self.hardware.misses(),
+            seq_db_hits: self.seq_dbs.hits(),
+            seq_db_misses: self.seq_dbs.misses(),
+            min_lengths_hits: self.min_lengths.hits(),
+            min_lengths_misses: self.min_lengths.misses(),
+            baseline_hits: self.baselines.hits(),
+            baseline_misses: self.baselines.misses(),
+        }
+    }
+
+    /// Evaluates one job (pure given the spec; used by [`EvalEngine::run`]
+    /// and directly by tests).
+    pub fn run_job(&self, spec: &SweepSpec, job: &JobSpec) -> JobRecord {
+        let grid = Grid::new(spec.grid_rows, spec.grid_cols);
+        let circuit = self.benchmark_circuit(job.bench, spec.base_seed);
+        let compiled = self.compiled(&circuit, &grid);
+
+        let mut config = SystemConfig::paper_default(job.point.design, job.point.groups);
+        config.n_qubits = grid.n_qubits();
+        let mut params = ExecParams::new(config);
+        params.seed = derive_seed(spec.base_seed, job.seed);
+        if let Some(lengths) = self.min_lengths(job.point.design) {
+            params.min_lengths = (*lengths).clone();
+        }
+
+        let groups =
+            checkerboard_groups(grid.cols(), grid.n_qubits(), job.point.groups.min(2).max(1));
+        let exec = execute(&compiled.physical, &compiled.slots, &groups, &params);
+        // The Impossible MIMD normalization baseline ignores the seed,
+        // the group map and the decomposition distribution, so it is a
+        // pure function of the compiled artifact — memoize it per
+        // compile key instead of re-running it for every design and seed.
+        let base_exec = self
+            .baselines
+            .get_or_build(compile_key(&circuit, &grid), || {
+                let mut base = params.clone();
+                base.config.design = ControllerDesign::ImpossibleMimd;
+                execute(&compiled.physical, &compiled.slots, &groups, &base)
+            });
+
+        let power_w = if spec.synthesize_hardware {
+            self.hardware(job.point.design, job.point.groups)
+                .map(|hw| hw.report.power_w)
+        } else {
+            None
+        };
+
+        JobRecord {
+            design: job.point.design,
+            groups: job.point.groups,
+            benchmark: job.bench.bench.name().to_string(),
+            n_qubits: circuit.n_qubits(),
+            seed: job.seed,
+            power_w,
+            report: BenchmarkReport {
+                benchmark: job.bench.bench.name().to_string(),
+                logical_gates: compiled.logical_gates,
+                swaps: compiled.swaps,
+                slots: compiled.slots.len(),
+                normalized_time: exec.total_ns / base_exec.total_ns.max(f64::MIN_POSITIVE),
+                exec,
+            },
+        }
+    }
+
+    /// Runs the whole sweep on `workers` scoped threads and merges the
+    /// records in job-index order. The report (including its cache
+    /// accounting) is identical for any worker count.
+    pub fn run(&self, spec: &SweepSpec, workers: usize) -> SweepReport {
+        let before = self.cache_stats();
+        let jobs = spec.jobs();
+        let records = par_map_ordered(&jobs, workers, |_, job| self.run_job(spec, job));
+        SweepReport {
+            grid_rows: spec.grid_rows,
+            grid_cols: spec.grid_cols,
+            jobs: records,
+            cache: self.cache_stats().since(&before),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_cache_builds_once_per_key() {
+        let cache: KeyedCache<u32, u32> = KeyedCache::new();
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 0..8u32 {
+                        let v = cache.get_or_build(k % 3, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            k % 3 + 100
+                        });
+                        assert_eq!(*v % 100, k % 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 3, "one build per key");
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 4 * 8 - 3);
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..57).collect();
+        let serial = par_map_ordered(&items, 1, |i, &x| i * 1000 + x * x);
+        for workers in [2, 4, 9] {
+            let parallel = par_map_ordered(&items, workers, |i, &x| i * 1000 + x * x);
+            assert_eq!(serial, parallel);
+        }
+        assert!(par_map_ordered(&[] as &[usize], 4, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn job_enumeration_is_design_major() {
+        let spec = SweepSpec::small_grid(
+            vec![
+                ControllerDesign::DigiqOpt { bs: 4 }.into(),
+                ControllerDesign::ImpossibleMimd.into(),
+            ],
+            &[Benchmark::Bv, Benchmark::Qgan],
+            4,
+            4,
+        )
+        .with_seeds(vec![7, 8]);
+        let jobs = spec.jobs();
+        assert_eq!(jobs.len(), spec.job_count());
+        assert_eq!(jobs.len(), 8);
+        assert_eq!(jobs[0].point.design, ControllerDesign::DigiqOpt { bs: 4 });
+        assert_eq!(jobs[0].bench.bench, Benchmark::Bv);
+        assert_eq!(jobs[0].seed, 7);
+        assert_eq!(jobs[1].seed, 8);
+        assert_eq!(jobs[2].bench.bench, Benchmark::Qgan);
+        assert_eq!(jobs[4].point.design, ControllerDesign::ImpossibleMimd);
+        for (i, job) in jobs.iter().enumerate() {
+            assert_eq!(job.index, i);
+        }
+    }
+
+    #[test]
+    fn compiled_artifacts_are_shared_across_designs() {
+        let engine = EvalEngine::new(CostModel::default());
+        let spec = SweepSpec::small_grid(
+            vec![
+                ControllerDesign::ImpossibleMimd.into(),
+                ControllerDesign::SfqMimdNaive.into(),
+                ControllerDesign::DigiqOpt { bs: 8 }.into(),
+            ],
+            &[Benchmark::Bv],
+            4,
+            4,
+        );
+        let report = engine.run(&spec, 2);
+        assert_eq!(report.jobs.len(), 3);
+        // One circuit generation and one compile serve all three designs.
+        assert_eq!(report.cache.circuit_misses, 1);
+        assert_eq!(report.cache.circuit_hits, 2);
+        assert_eq!(report.cache.compile_misses, 1);
+        assert_eq!(report.cache.compile_hits, 2);
+        // All three evaluated the same compiled workload.
+        let slots: Vec<usize> = report.jobs.iter().map(|r| r.report.slots).collect();
+        assert_eq!(slots[0], slots[1]);
+        assert_eq!(slots[1], slots[2]);
+    }
+
+    #[test]
+    fn hardware_power_recorded_when_requested() {
+        let engine = EvalEngine::new(CostModel::default());
+        let spec = SweepSpec::small_grid(
+            vec![
+                ControllerDesign::ImpossibleMimd.into(),
+                ControllerDesign::DigiqOpt { bs: 8 }.into(),
+            ],
+            &[Benchmark::Bv],
+            4,
+            4,
+        )
+        .with_hardware();
+        let report = engine.run(&spec, 2);
+        assert_eq!(report.jobs[0].power_w, None, "Impossible MIMD: no hardware");
+        let p = report.jobs[1].power_w.expect("opt hardware synthesized");
+        assert!(p > 0.0 && p < 10.0);
+        assert_eq!(report.cache.hardware_misses, 1);
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_salted() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
+        assert_ne!(derive_seed(1, 2), derive_seed(2, 2));
+    }
+
+    #[test]
+    fn warm_engine_reuses_everything() {
+        let engine = EvalEngine::new(CostModel::default());
+        let spec = SweepSpec::small_grid(
+            vec![ControllerDesign::DigiqOpt { bs: 4 }.into()],
+            &[Benchmark::Ising],
+            4,
+            4,
+        );
+        let cold = engine.run(&spec, 1);
+        let warm = engine.run(&spec, 3);
+        assert_eq!(cold.jobs, warm.jobs, "cache hits must not change results");
+        assert_eq!(warm.cache.circuit_misses, 0);
+        assert_eq!(warm.cache.compile_misses, 0);
+        assert_eq!(warm.cache.total_misses(), 0);
+        assert!(warm.cache.total_hits() > 0);
+    }
+}

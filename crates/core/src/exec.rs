@@ -29,9 +29,7 @@ use crate::design::{ControllerDesign, SystemConfig};
 use qcircuit::ir::{Circuit, Gate, OneQ};
 use qcircuit::schedule::Slot;
 use sfq_hw::json::{Json, ToJson};
-use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
 
 /// Tunables of the statistical execution model.
 #[derive(Debug, Clone, PartialEq)]
@@ -72,7 +70,7 @@ impl ExecParams {
 }
 
 /// Per-run accounting.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecReport {
     /// Total execution time, ns.
     pub total_ns: f64,
@@ -98,12 +96,30 @@ impl ToJson for ExecReport {
     }
 }
 
-fn hash_u64(parts: &[u64]) -> u64 {
-    let mut h = DefaultHasher::new();
-    for p in parts {
-        p.hash(&mut h);
+impl ExecReport {
+    /// Reads a report back from its [`ToJson`] form — the inverse of
+    /// [`ExecReport::to_json`], used by the sweep-report reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "exec report";
+        Ok(ExecReport {
+            total_ns: j.num_field("total_ns", CTX)?,
+            oneq_cycles: j.count_field("oneq_cycles", CTX)?,
+            serialization_cycles: j.count_field("serialization_cycles", CTX)?,
+            slots: j.count_field("slots", CTX)?,
+            cz_ns: j.num_field("cz_ns", CTX)?,
+        })
     }
-    h.finish()
+}
+
+// The draws below are observable results (they set gate durations that
+// land in golden files), so they use the repo's pinned stable hash, not
+// std's release-dependent DefaultHasher.
+fn hash_u64(parts: &[u64]) -> u64 {
+    qsim::rng::stable_hash(parts)
 }
 
 /// θ (ZYZ middle angle) of a 1q gate, cheaply.

@@ -261,34 +261,48 @@ impl ToJson for Fig8Row {
     }
 }
 
-/// Runs the full Fig 8 sweep: both MIMD baselines plus
+/// The Fig 8 design points: both MIMD baselines plus
 /// `DigiQ_min(BS∈{2,4})` and `DigiQ_opt(BS∈{2,4,8,16})` across
 /// `G∈{2,4,8,16}`.
+pub fn fig8_points() -> Vec<(ControllerDesign, usize)> {
+    let mut points = vec![
+        (ControllerDesign::SfqMimdNaive, 1),
+        (ControllerDesign::SfqMimdDecomp, 1),
+    ];
+    for &g in &[2usize, 4, 8, 16] {
+        for &bs in &[2usize, 4] {
+            points.push((ControllerDesign::DigiqMin { bs }, g));
+        }
+        for &bs in &[2usize, 4, 8, 16] {
+            points.push((ControllerDesign::DigiqOpt { bs }, g));
+        }
+    }
+    points
+}
+
+/// Runs the full Fig 8 sweep serially (rows in [`fig8_points`] order).
 pub fn fig8_sweep(model: &CostModel) -> Vec<Fig8Row> {
-    let mut rows = Vec::new();
-    let mut add = |design: ControllerDesign, groups: usize| {
+    fig8_sweep_parallel(model, 1)
+}
+
+/// Runs the full Fig 8 sweep sharded over `workers` threads via the
+/// evaluation engine's ordered map — each point synthesizes
+/// independently, and rows merge in [`fig8_points`] order regardless of
+/// worker count.
+pub fn fig8_sweep_parallel(model: &CostModel, workers: usize) -> Vec<Fig8Row> {
+    let points = fig8_points();
+    crate::engine::par_map_ordered(&points, workers, |_, &(design, groups)| {
         let cfg = SystemConfig::paper_default(design, groups);
         let hw = build_hardware(&cfg, model);
-        rows.push(Fig8Row {
+        Fig8Row {
             design: design.to_string(),
             groups,
             power_w: hw.report.power_w,
             area_mm2: hw.report.area_mm2,
             cables: hw.cables,
             worst_stage_ps: hw.report.worst_stage_ps,
-        });
-    };
-    add(ControllerDesign::SfqMimdNaive, 1);
-    add(ControllerDesign::SfqMimdDecomp, 1);
-    for &g in &[2usize, 4, 8, 16] {
-        for &bs in &[2usize, 4] {
-            add(ControllerDesign::DigiqMin { bs }, g);
         }
-        for &bs in &[2usize, 4, 8, 16] {
-            add(ControllerDesign::DigiqOpt { bs }, g);
-        }
-    }
-    rows
+    })
 }
 
 #[cfg(test)]
@@ -426,7 +440,23 @@ mod tests {
         let rows = fig8_sweep(&model());
         // 2 baselines + 4 G × (2 min + 4 opt) = 26.
         assert_eq!(rows.len(), 26);
+        assert_eq!(rows.len(), fig8_points().len());
         assert!(rows.iter().all(|r| r.power_w > 0.0 && r.area_mm2 > 0.0));
+    }
+
+    #[test]
+    fn fig8_sweep_parallel_matches_serial() {
+        let serial = fig8_sweep(&model());
+        let parallel = fig8_sweep_parallel(&model(), 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.design, b.design);
+            assert_eq!(a.groups, b.groups);
+            assert_eq!(a.power_w, b.power_w);
+            assert_eq!(a.area_mm2, b.area_mm2);
+            assert_eq!(a.cables, b.cables);
+            assert_eq!(a.worst_stage_ps, b.worst_stage_ps);
+        }
     }
 
     #[test]

@@ -13,7 +13,11 @@
 //!   with full software calibration (Fig 10);
 //! * [`scalability`] — qubits-per-10 W analysis (§VI-A3);
 //! * [`system`] — the end-to-end facade (compile → route → schedule →
-//!   execute → report).
+//!   execute → report);
+//! * [`engine`] — the batched, multi-threaded sweep engine: declarative
+//!   design × benchmark × seed specs sharded across scoped workers, with
+//!   a keyed cache memoizing synthesized hardware, compiled circuits and
+//!   sequence databases; deterministic for any worker count.
 //!
 //! ## Quickstart
 //!
@@ -29,6 +33,7 @@
 //! ```
 
 pub mod design;
+pub mod engine;
 pub mod error_model;
 pub mod exec;
 pub mod hardware;
@@ -36,5 +41,6 @@ pub mod scalability;
 pub mod system;
 
 pub use design::{ControllerDesign, SystemConfig};
+pub use engine::{EvalEngine, SweepReport, SweepSpec};
 pub use hardware::{build_hardware, DesignHardware};
 pub use system::{BenchmarkReport, DigiqSystem};

@@ -58,31 +58,43 @@ pub fn max_qubits(
     ((budget_w / hw.report.power_w).floor() as u64) * cfg.n_qubits as u64
 }
 
-/// The §VI-A3 scalability table for the headline design points.
-pub fn scalability_table(model: &CostModel) -> Vec<ScalabilityRow> {
-    let points = [
+/// The headline design points of the §VI-A3 table.
+pub fn scalability_points() -> Vec<(ControllerDesign, usize)> {
+    vec![
         (ControllerDesign::DigiqMin { bs: 2 }, 2usize),
         (ControllerDesign::DigiqMin { bs: 4 }, 2),
         (ControllerDesign::DigiqOpt { bs: 8 }, 2),
         (ControllerDesign::DigiqOpt { bs: 16 }, 2),
         (ControllerDesign::SfqMimdNaive, 1),
         (ControllerDesign::SfqMimdDecomp, 1),
-    ];
-    points
-        .iter()
-        .map(|&(design, groups)| {
-            let cfg = SystemConfig::paper_default(design, groups);
-            let hw = build_hardware(&cfg, model);
-            ScalabilityRow {
-                design: design.to_string(),
-                tile_power_w: hw.report.power_w,
-                tile_area_mm2: hw.report.area_mm2,
-                max_qubits: ((POWER_BUDGET_W / hw.report.power_w).floor() as u64)
-                    * cfg.n_qubits as u64,
-                cables_per_tile: hw.cables,
-            }
-        })
-        .collect()
+    ]
+}
+
+/// The §VI-A3 scalability table for the headline design points.
+pub fn scalability_table(model: &CostModel) -> Vec<ScalabilityRow> {
+    scalability_table_parallel(model, 1)
+}
+
+/// [`scalability_table`] sharded over `workers` threads through the
+/// evaluation engine: each tile synthesizes once in the engine's keyed
+/// hardware cache, and rows merge in [`scalability_points`] order
+/// regardless of worker count.
+pub fn scalability_table_parallel(model: &CostModel, workers: usize) -> Vec<ScalabilityRow> {
+    let engine = crate::engine::EvalEngine::new(*model);
+    let points = scalability_points();
+    crate::engine::par_map_ordered(&points, workers, |_, &(design, groups)| {
+        let hw = engine
+            .hardware(design, groups)
+            .expect("every tabulated design is buildable");
+        let cfg = SystemConfig::paper_default(design, groups);
+        ScalabilityRow {
+            design: design.to_string(),
+            tile_power_w: hw.report.power_w,
+            tile_area_mm2: hw.report.area_mm2,
+            max_qubits: ((POWER_BUDGET_W / hw.report.power_w).floor() as u64) * cfg.n_qubits as u64,
+            cables_per_tile: hw.cables,
+        }
+    })
 }
 
 #[cfg(test)]
@@ -131,6 +143,13 @@ mod tests {
         assert!(min2 > 10 * naive);
         for row in &t {
             assert!(row.tile_power_w > 0.0);
+        }
+        // Sharded synthesis merges identically.
+        let p = scalability_table_parallel(&CostModel::default(), 3);
+        assert_eq!(t.len(), p.len());
+        for (a, b) in t.iter().zip(&p) {
+            assert_eq!(a.design, b.design);
+            assert_eq!(a.max_qubits, b.max_qubits);
         }
     }
 }

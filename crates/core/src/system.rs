@@ -33,7 +33,7 @@ pub struct DigiqSystem {
 }
 
 /// Evaluation result for one benchmark (one Fig 9 bar).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkReport {
     /// Benchmark name.
     pub benchmark: String,
@@ -59,6 +59,26 @@ impl ToJson for BenchmarkReport {
             ("exec", self.exec.to_json()),
             ("normalized_time", self.normalized_time.to_json()),
         ])
+    }
+}
+
+impl BenchmarkReport {
+    /// Reads a report back from its [`ToJson`] form — the inverse of
+    /// [`BenchmarkReport::to_json`], used by the sweep-report reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "benchmark report";
+        Ok(BenchmarkReport {
+            benchmark: j.str_field("benchmark", CTX)?.to_string(),
+            logical_gates: j.count_field("logical_gates", CTX)? as usize,
+            swaps: j.count_field("swaps", CTX)? as usize,
+            slots: j.count_field("slots", CTX)? as usize,
+            exec: ExecReport::from_json(j.get("exec").ok_or("benchmark report missing `exec`")?)?,
+            normalized_time: j.num_field("normalized_time", CTX)?,
+        })
     }
 }
 
@@ -128,22 +148,63 @@ impl DigiqSystem {
     }
 }
 
+/// The distinct broadcast bases used by the sequence searches; a small
+/// closed set so batched evaluations can key sequence databases and
+/// length distributions on it (`crate::engine` memoizes both per kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MinBasisKind {
+    /// The ideal minimal basis {Ry(π/2), T} of §IV-A2 (BS = 2, and the
+    /// per-qubit universal set of `SFQ_MIMD_decomp`).
+    IdealRyT,
+    /// The richer 4-gate basis {Ry(π/2), T, X, S} used for `BS ≥ 4`.
+    Rich4,
+}
+
+impl MinBasisKind {
+    /// The basis kind a design's sequence search uses.
+    pub fn for_design(design: ControllerDesign) -> MinBasisKind {
+        match design {
+            ControllerDesign::DigiqMin { bs } if bs >= 4 => MinBasisKind::Rich4,
+            _ => MinBasisKind::IdealRyT,
+        }
+    }
+
+    /// Materializes the basis operations.
+    pub fn basis(self) -> MinBasis {
+        match self {
+            MinBasisKind::IdealRyT => MinBasis::ideal_ry_t(),
+            MinBasisKind::Rich4 => MinBasis::new(vec![
+                qsim::gates::ry(std::f64::consts::FRAC_PI_2),
+                qsim::gates::t(),
+                qsim::gates::x(),
+                qsim::gates::s(),
+            ]),
+        }
+    }
+
+    /// Meet-in-the-middle half depth: a smaller alphabet needs a deeper
+    /// half-database for the same coverage.
+    pub fn half_depth(self) -> usize {
+        match self {
+            MinBasisKind::IdealRyT => 11,
+            MinBasisKind::Rich4 => 7,
+        }
+    }
+}
+
 /// Derives an empirical DigiQ_min sequence-length distribution by running
 /// the real meet-in-the-middle search over a stratified target sample on
 /// the ideal basis for the design's `BS`.
 pub fn measured_min_lengths(design: ControllerDesign) -> Vec<usize> {
-    let basis = match design {
-        ControllerDesign::DigiqMin { bs } if bs >= 4 => MinBasis::new(vec![
-            qsim::gates::ry(std::f64::consts::FRAC_PI_2),
-            qsim::gates::t(),
-            qsim::gates::x(),
-            qsim::gates::s(),
-        ]),
-        _ => MinBasis::ideal_ry_t(),
-    };
-    // Smaller alphabet → deeper half-database for the same coverage.
-    let half_depth = if basis.len() >= 4 { 7 } else { 11 };
-    let db = SequenceDb::build(&basis, half_depth);
+    let kind = MinBasisKind::for_design(design);
+    let basis = kind.basis();
+    let db = SequenceDb::build(&basis, kind.half_depth());
+    measured_min_lengths_with_db(&basis, &db)
+}
+
+/// The measurement step of [`measured_min_lengths`], over an
+/// already-built (possibly cached and shared) sequence database.
+pub fn measured_min_lengths_with_db(basis: &MinBasis, db: &SequenceDb) -> Vec<usize> {
     let targets = crate::error_model::target_sample(24, 0x515E_0001);
     // Paper procedure (§VI-B): "we decompose single-qubit gates until the
     // approximation error falls below 1e-4, up to a maximum depth of 28".
@@ -152,7 +213,7 @@ pub fn measured_min_lengths(design: ControllerDesign) -> Vec<usize> {
     let mut lengths: Vec<usize> = targets
         .iter()
         .map(|t| {
-            let dec = decompose_min(t, &basis, &db, 1e-4);
+            let dec = decompose_min(t, basis, db, 1e-4);
             if dec.error > 1e-4 {
                 28
             } else {

@@ -1,0 +1,123 @@
+//! Cross-design invariants of the Fig 9 execution model, checked through
+//! the evaluation engine on a small grid:
+//!
+//! * the Impossible MIMD reference lower-bounds every real design;
+//! * DigiQ_opt execution time is monotonically non-increasing in `BS`
+//!   (more broadcast delay slots never serialize more);
+//! * the baseline's normalized time is exactly 1.0.
+
+use digiq_core::design::ControllerDesign;
+use digiq_core::engine::{EvalEngine, SweepReport, SweepSpec};
+use qcircuit::bench::Benchmark;
+use sfq_hw::cost::CostModel;
+use std::sync::OnceLock;
+
+const BENCHES: [Benchmark; 3] = [Benchmark::Qgan, Benchmark::Ising, Benchmark::Bv];
+
+/// One shared sweep over every design the oracles inspect (the engine
+/// cache makes the marginal cost of extra designs small).
+fn sweep() -> &'static SweepReport {
+    static REPORT: OnceLock<SweepReport> = OnceLock::new();
+    REPORT.get_or_init(|| {
+        let mut designs = vec![ControllerDesign::ImpossibleMimd.into()];
+        designs.extend(SweepSpec::table_one_designs());
+        for bs in [2usize, 4, 16] {
+            designs.push(ControllerDesign::DigiqOpt { bs }.into());
+        }
+        let spec = SweepSpec::small_grid(designs, &BENCHES, 6, 6).with_seeds(vec![5]);
+        EvalEngine::new(CostModel::default()).run(&spec, 2)
+    })
+}
+
+fn total_ns(design: ControllerDesign, bench: &str) -> f64 {
+    sweep()
+        .jobs
+        .iter()
+        .find(|j| j.design == design && j.benchmark == bench)
+        .unwrap_or_else(|| panic!("missing job {design} / {bench}"))
+        .report
+        .exec
+        .total_ns
+}
+
+#[test]
+fn impossible_mimd_lower_bounds_every_real_design() {
+    for bench in BENCHES {
+        let floor = total_ns(ControllerDesign::ImpossibleMimd, bench.name());
+        assert!(floor > 0.0);
+        for design in [
+            ControllerDesign::SfqMimdNaive,
+            ControllerDesign::SfqMimdDecomp,
+            ControllerDesign::DigiqMin { bs: 2 },
+            ControllerDesign::DigiqOpt { bs: 2 },
+            ControllerDesign::DigiqOpt { bs: 4 },
+            ControllerDesign::DigiqOpt { bs: 8 },
+            ControllerDesign::DigiqOpt { bs: 16 },
+        ] {
+            let t = total_ns(design, bench.name());
+            assert!(
+                t >= floor - 1e-9,
+                "{design} on {}: {t} ns beats the impossible floor {floor} ns",
+                bench.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn digiq_opt_time_is_monotone_non_increasing_in_bs() {
+    for bench in BENCHES {
+        let times: Vec<f64> = [2usize, 4, 8, 16]
+            .iter()
+            .map(|&bs| total_ns(ControllerDesign::DigiqOpt { bs }, bench.name()))
+            .collect();
+        for w in times.windows(2) {
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "{}: BS increase raised time {} -> {}",
+                bench.name(),
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_normalized_time_is_exactly_one() {
+    let baseline_jobs: Vec<_> = sweep()
+        .jobs
+        .iter()
+        .filter(|j| j.design == ControllerDesign::ImpossibleMimd)
+        .collect();
+    assert_eq!(baseline_jobs.len(), BENCHES.len());
+    for job in baseline_jobs {
+        assert_eq!(
+            job.report.normalized_time, 1.0,
+            "{}: baseline must normalize to exactly 1.0",
+            job.benchmark
+        );
+    }
+    // Every real design sits at or above the baseline.
+    for job in &sweep().jobs {
+        assert!(
+            job.report.normalized_time >= 1.0,
+            "{} on {}: normalized {} < 1",
+            job.design,
+            job.benchmark,
+            job.report.normalized_time
+        );
+    }
+}
+
+#[test]
+fn decomposing_designs_pay_for_depth() {
+    // DigiQ_min charges measured multi-cycle decompositions, so it must
+    // sit strictly above the baseline on single-qubit-heavy workloads.
+    let min2 = total_ns(ControllerDesign::DigiqMin { bs: 2 }, "QGAN");
+    let floor = total_ns(ControllerDesign::ImpossibleMimd, "QGAN");
+    assert!(
+        min2 > 2.0 * floor,
+        "DigiQ_min(BS=2) should pay clearly for decomposition: {min2} vs {floor}"
+    );
+}

@@ -1,0 +1,194 @@
+//! Round-trip coverage of the `SweepReport` shape through `sfq_hw::json`
+//! — `parse(serialize(x)) == x` for both engine-produced and hand-built
+//! reports — plus malformed-input rejection for the parser and the
+//! structural reader.
+
+use digiq_core::design::ControllerDesign;
+use digiq_core::engine::{CacheStats, EvalEngine, JobRecord, SweepReport, SweepSpec};
+use digiq_core::exec::ExecReport;
+use digiq_core::system::BenchmarkReport;
+use qcircuit::bench::Benchmark;
+use sfq_hw::cost::CostModel;
+use sfq_hw::json::{Json, ToJson};
+
+fn engine_report() -> SweepReport {
+    let spec = SweepSpec::small_grid(
+        vec![
+            ControllerDesign::ImpossibleMimd.into(),
+            ControllerDesign::DigiqOpt { bs: 8 }.into(),
+        ],
+        &[Benchmark::Bv],
+        4,
+        4,
+    )
+    .with_seeds(vec![1, 2])
+    .with_hardware();
+    EvalEngine::new(CostModel::default()).run(&spec, 2)
+}
+
+fn hand_built_report() -> SweepReport {
+    SweepReport {
+        grid_rows: 2,
+        grid_cols: 3,
+        jobs: vec![JobRecord {
+            design: ControllerDesign::DigiqMin { bs: 4 },
+            groups: 2,
+            benchmark: "Ising".to_string(),
+            n_qubits: 6,
+            seed: 42,
+            power_w: Some(0.125),
+            report: BenchmarkReport {
+                benchmark: "Ising".to_string(),
+                logical_gates: 17,
+                swaps: 3,
+                slots: 9,
+                exec: ExecReport {
+                    total_ns: 1234.5,
+                    oneq_cycles: 88,
+                    serialization_cycles: 7,
+                    slots: 9,
+                    cz_ns: 360.0,
+                },
+                normalized_time: 4.25,
+            },
+        }],
+        cache: CacheStats {
+            circuit_hits: 1,
+            circuit_misses: 1,
+            compile_hits: 1,
+            compile_misses: 1,
+            seq_db_misses: 1,
+            ..CacheStats::default()
+        },
+    }
+}
+
+#[test]
+fn engine_report_round_trips_compact_and_pretty() {
+    let report = engine_report();
+    // power_w exercises both Null (Impossible MIMD) and Some.
+    assert!(report.jobs.iter().any(|j| j.power_w.is_none()));
+    assert!(report.jobs.iter().any(|j| j.power_w.is_some()));
+
+    let compact = report.to_json_string();
+    assert_eq!(SweepReport::parse(&compact), Ok(report.clone()));
+
+    let pretty = report.to_json().render_pretty(2);
+    assert_eq!(SweepReport::parse(&pretty), Ok(report));
+}
+
+#[test]
+fn hand_built_report_round_trips_every_field() {
+    let report = hand_built_report();
+    let parsed = SweepReport::parse(&report.to_json_string()).unwrap();
+    assert_eq!(parsed, report);
+    // Spot-check exact float and count survival.
+    assert_eq!(parsed.jobs[0].power_w, Some(0.125));
+    assert_eq!(parsed.jobs[0].report.exec.oneq_cycles, 88);
+    assert_eq!(parsed.cache.seq_db_misses, 1);
+
+    // An empty sweep is still a valid document.
+    let empty = SweepReport {
+        grid_rows: 0,
+        grid_cols: 0,
+        jobs: vec![],
+        cache: CacheStats::default(),
+    };
+    assert_eq!(SweepReport::parse(&empty.to_json_string()), Ok(empty));
+}
+
+#[test]
+fn component_readers_round_trip() {
+    let report = hand_built_report();
+    let job = &report.jobs[0];
+    assert_eq!(JobRecord::from_json(&job.to_json()), Ok(job.clone()));
+    assert_eq!(
+        BenchmarkReport::from_json(&job.report.to_json()),
+        Ok(job.report.clone())
+    );
+    assert_eq!(
+        ExecReport::from_json(&job.report.exec.to_json()),
+        Ok(job.report.exec.clone())
+    );
+    assert_eq!(
+        CacheStats::from_json(&report.cache.to_json()),
+        Ok(report.cache)
+    );
+}
+
+#[test]
+fn parser_rejects_malformed_syntax() {
+    for text in [
+        "",
+        "{",
+        "[1,]",
+        "{\"grid_rows\":}",
+        "{\"a\":1} extra",
+        "\"unterminated",
+        "nul",
+        "{'single':1}",
+    ] {
+        assert!(
+            SweepReport::parse(text).is_err(),
+            "accepted malformed JSON: {text:?}"
+        );
+    }
+}
+
+#[test]
+fn reader_rejects_structural_mismatches() {
+    let good = hand_built_report().to_json();
+
+    // Top level must be an object with every field present and typed.
+    assert!(SweepReport::from_json(&Json::Arr(vec![])).is_err());
+    let mutations: Vec<(&str, Json)> = vec![
+        ("grid_rows", Json::Str("two".into())),
+        ("grid_rows", Json::Num(-1.0)),
+        ("grid_rows", Json::Num(1.5)),
+        ("jobs", Json::Num(3.0)),
+        ("cache", Json::Null),
+    ];
+    for (field, bad_value) in mutations {
+        let mut pairs = match &good {
+            Json::Obj(pairs) => pairs.clone(),
+            _ => unreachable!(),
+        };
+        for (k, v) in &mut pairs {
+            if k == field {
+                *v = bad_value.clone();
+            }
+        }
+        let err = SweepReport::from_json(&Json::Obj(pairs));
+        assert!(err.is_err(), "accepted bad `{field}`");
+    }
+    // Missing field.
+    let mut pairs = match &good {
+        Json::Obj(pairs) => pairs.clone(),
+        _ => unreachable!(),
+    };
+    pairs.retain(|(k, _)| k != "jobs");
+    assert!(SweepReport::from_json(&Json::Obj(pairs)).is_err());
+
+    // Bad nested job entries.
+    let job = hand_built_report().jobs.remove(0);
+    let mut j = match job.to_json() {
+        Json::Obj(pairs) => pairs,
+        _ => unreachable!(),
+    };
+    for (k, v) in &mut j {
+        if k == "design" {
+            *v = Json::Str("NotADesign".into());
+        }
+    }
+    assert!(JobRecord::from_json(&Json::Obj(j)).is_err());
+    assert!(ExecReport::from_json(&Json::obj([("total_ns", Json::Bool(true))])).is_err());
+    assert!(ExecReport::from_json(&Json::obj([
+        ("total_ns", Json::Num(1.0)),
+        ("oneq_cycles", Json::Num(2.5)),
+        ("serialization_cycles", Json::Num(0.0)),
+        ("slots", Json::Num(1.0)),
+        ("cz_ns", Json::Num(0.0)),
+    ]))
+    .is_err());
+    assert!(CacheStats::from_json(&Json::obj([("circuit_hits", Json::Num(1.0))])).is_err());
+}

@@ -61,6 +61,60 @@ impl Benchmark {
         }
     }
 
+    /// Parses a display name (as printed by [`Benchmark::name`],
+    /// case-insensitive) back into the benchmark; used by the sweep
+    /// harnesses' CLI and report readers.
+    pub fn from_name(name: &str) -> Option<Benchmark> {
+        ALL_BENCHMARKS
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Generates a reduced instance of the benchmark that fits within
+    /// `max_qubits` qubits, with a deterministic seed — the engine's
+    /// small-grid sweeps (`digiq_core::engine`) use this so the whole
+    /// Table IV suite runs in seconds on test grids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_qubits < 8`.
+    pub fn scaled(self, max_qubits: usize, seed: u64) -> Circuit {
+        assert!(max_qubits >= 8, "scaled benchmarks need at least 8 qubits");
+        match self {
+            Benchmark::Qgan => qgan(max_qubits, 2, seed),
+            Benchmark::Ising => ising_chain(max_qubits, 2, 0.3, 0.7),
+            Benchmark::Bv => {
+                let secret: Vec<bool> = (0..max_qubits - 1)
+                    .map(|i| (i as u64 * 7 + 3 + seed) % 5 < 2)
+                    .collect();
+                bernstein_vazirani(&secret)
+            }
+            Benchmark::Add1 => cuccaro_adder(((max_qubits - 2) / 2).max(1)),
+            Benchmark::Add2 => {
+                // Block 4; shrink the width until the ancilla layout fits.
+                let mut bits = ((max_qubits / 3).max(4) / 4) * 4;
+                loop {
+                    let c = block_lookahead_adder(bits, 4);
+                    if c.n_qubits() <= max_qubits || bits == 4 {
+                        return c;
+                    }
+                    bits -= 4;
+                }
+            }
+            Benchmark::Sqrt10 => {
+                let mut bits = 6;
+                loop {
+                    let target = ((1u64 << (bits / 2)) - 1).pow(2);
+                    let c = grover_sqrt(bits, target);
+                    if c.n_qubits() <= max_qubits || bits == 2 {
+                        return c;
+                    }
+                    bits -= 2;
+                }
+            }
+        }
+    }
+
     /// Generates the benchmark at (near-)paper scale for a 1024-qubit
     /// machine, with a deterministic seed.
     pub fn paper_scale(self) -> Circuit {
@@ -830,5 +884,39 @@ mod tests {
     fn benchmark_names() {
         assert_eq!(Benchmark::Qgan.name(), "QGAN");
         assert_eq!(ALL_BENCHMARKS.len(), 6);
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for b in ALL_BENCHMARKS {
+            assert_eq!(Benchmark::from_name(b.name()), Some(b));
+            assert_eq!(Benchmark::from_name(&b.name().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::from_name("nope"), None);
+    }
+
+    #[test]
+    fn scaled_instances_fit_their_budget() {
+        for budget in [16usize, 64] {
+            for b in ALL_BENCHMARKS {
+                let c = b.scaled(budget, 7);
+                assert!(
+                    c.n_qubits() <= budget,
+                    "{} at budget {budget} used {} qubits",
+                    b.name(),
+                    c.n_qubits()
+                );
+                assert!(!c.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_is_deterministic_per_seed() {
+        let a = Benchmark::Qgan.scaled(32, 11);
+        let b = Benchmark::Qgan.scaled(32, 11);
+        assert_eq!(a.cache_key(), b.cache_key());
+        let c = Benchmark::Qgan.scaled(32, 12);
+        assert_ne!(a.cache_key(), c.cache_key());
     }
 }

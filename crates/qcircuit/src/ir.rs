@@ -148,6 +148,37 @@ impl Gate {
     }
 }
 
+fn hash_oneq(kind: OneQ, h: &mut qsim::rng::StableHasher) {
+    match kind {
+        OneQ::H => h.write_u8(0),
+        OneQ::X => h.write_u8(1),
+        OneQ::Y => h.write_u8(2),
+        OneQ::Z => h.write_u8(3),
+        OneQ::S => h.write_u8(4),
+        OneQ::Sdg => h.write_u8(5),
+        OneQ::T => h.write_u8(6),
+        OneQ::Tdg => h.write_u8(7),
+        OneQ::Rx(a) => {
+            h.write_u8(8);
+            h.write_u64(a.to_bits());
+        }
+        OneQ::Ry(a) => {
+            h.write_u8(9);
+            h.write_u64(a.to_bits());
+        }
+        OneQ::Rz(a) => {
+            h.write_u8(10);
+            h.write_u64(a.to_bits());
+        }
+        OneQ::U { theta, phi, lam } => {
+            h.write_u8(11);
+            h.write_u64(theta.to_bits());
+            h.write_u64(phi.to_bits());
+            h.write_u64(lam.to_bits());
+        }
+    }
+}
+
 impl fmt::Display for Gate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
@@ -217,6 +248,48 @@ impl Circuit {
             }
         }
         self.gates.push(gate);
+    }
+
+    /// Structural fingerprint of the circuit, stable across runs,
+    /// processes, and toolchains (`qsim::rng::StableHasher`, not std's
+    /// release-dependent `DefaultHasher`): qubit count plus every gate
+    /// (kind, operands, exact angle bits). Two circuits share a key iff
+    /// they are gate-for-gate identical, so the evaluation engine can use
+    /// it to memoize compiled artifacts (`digiq_core::engine`).
+    pub fn cache_key(&self) -> u64 {
+        let mut h = qsim::rng::StableHasher::new();
+        h.write_usize(self.n_qubits);
+        for g in &self.gates {
+            match *g {
+                Gate::OneQ { q, kind } => {
+                    h.write_u8(0);
+                    h.write_usize(q);
+                    hash_oneq(kind, &mut h);
+                }
+                Gate::Cx { c, t } => {
+                    h.write_u8(1);
+                    h.write_usize(c);
+                    h.write_usize(t);
+                }
+                Gate::Cz { a, b } => {
+                    h.write_u8(2);
+                    h.write_usize(a);
+                    h.write_usize(b);
+                }
+                Gate::Swap { a, b } => {
+                    h.write_u8(3);
+                    h.write_usize(a);
+                    h.write_usize(b);
+                }
+                Gate::Ccx { c1, c2, t } => {
+                    h.write_u8(4);
+                    h.write_usize(c1);
+                    h.write_usize(c2);
+                    h.write_usize(t);
+                }
+            }
+        }
+        h.finish()
     }
 
     /// Appends every gate of `other` (qubit indices unchanged).
@@ -698,5 +771,36 @@ mod tests {
         assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
         assert!((wrap_angle(-PI / 2.0) + PI / 2.0).abs() < 1e-12);
         assert!((wrap_angle(2.0 * PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_key_distinguishes_structure() {
+        let mut a = Circuit::new(3);
+        a.h(0);
+        a.cz(0, 1);
+        let mut b = Circuit::new(3);
+        b.h(0);
+        b.cz(0, 1);
+        assert_eq!(a.cache_key(), b.cache_key());
+
+        // Different operand order, gate kind, angle, or width all differ.
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cz(1, 0);
+        assert_ne!(a.cache_key(), c.cache_key());
+        let mut d = Circuit::new(3);
+        d.h(0);
+        d.cx(0, 1);
+        assert_ne!(a.cache_key(), d.cache_key());
+        let mut e = Circuit::new(3);
+        e.rx(0, 0.5);
+        let mut f = Circuit::new(3);
+        f.rx(0, 0.5 + 1e-15);
+        assert_ne!(e.cache_key(), f.cache_key());
+        assert_ne!(
+            Circuit::new(2).cache_key(),
+            Circuit::new(3).cache_key(),
+            "width must be part of the key"
+        );
     }
 }

@@ -115,6 +115,21 @@ impl Layout {
         self.phys_to_log[p]
     }
 
+    /// Structural fingerprint of the assignment, stable across runs,
+    /// processes, and toolchains (`qsim::rng::StableHasher` over the
+    /// logical→physical table and the physical register size). Used with
+    /// [`Circuit::cache_key`] by the evaluation engine to memoize routed
+    /// circuits.
+    pub fn cache_key(&self) -> u64 {
+        let mut h = qsim::rng::StableHasher::new();
+        h.write_usize(self.phys_to_log.len());
+        h.write_usize(self.log_to_phys.len());
+        for &p in &self.log_to_phys {
+            h.write_usize(p);
+        }
+        h.finish()
+    }
+
     /// Applies a SWAP between two physical qubits (either may be empty).
     pub fn swap_physical(&mut self, pa: usize, pb: usize) {
         let la = self.phys_to_log[pa];
@@ -451,5 +466,23 @@ mod tests {
         let a = route(&c, &grid, Layout::identity(16, 16), &cfg);
         let b = route(&c, &grid, Layout::identity(16, 16), &cfg);
         assert_eq!(a.circuit, b.circuit);
+    }
+
+    #[test]
+    fn layout_cache_key_tracks_assignment() {
+        let grid = Grid::new(4, 4);
+        assert_eq!(
+            Layout::snake(8, &grid).cache_key(),
+            Layout::snake(8, &grid).cache_key()
+        );
+        assert_ne!(
+            Layout::snake(8, &grid).cache_key(),
+            Layout::identity(8, 16).cache_key()
+        );
+        // Same table over a different physical register differs too.
+        assert_ne!(
+            Layout::identity(4, 8).cache_key(),
+            Layout::identity(4, 16).cache_key()
+        );
     }
 }

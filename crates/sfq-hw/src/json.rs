@@ -175,6 +175,48 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Reads object field `key` as a number, with a contextualized error
+    /// (the shared validator of the report readers).
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing or mistyped field, prefixed with `ctx`.
+    pub fn num_field(&self, key: &str, ctx: &str) -> Result<f64, String> {
+        self.get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{ctx} missing numeric `{key}`"))
+    }
+
+    /// Reads object field `key` as a string, with a contextualized error.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing or mistyped field, prefixed with `ctx`.
+    pub fn str_field(&self, key: &str, ctx: &str) -> Result<&str, String> {
+        self.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{ctx} missing string `{key}`"))
+    }
+
+    /// Reads object field `key` as a count: a non-negative integer within
+    /// the exact-round-trip range of an `f64` (< 2⁵³). Rejecting larger
+    /// values keeps `parse(serialize(x)) == x` honest — a count above
+    /// 2⁵³ would already have lost precision when serialized.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing, mistyped, negative, fractional, or
+    /// out-of-range field, prefixed with `ctx`.
+    pub fn count_field(&self, key: &str, ctx: &str) -> Result<u64, String> {
+        let x = self.num_field(key, ctx)?;
+        if x < 0.0 || x.fract() != 0.0 || x >= 9_007_199_254_740_992.0 {
+            return Err(format!(
+                "{ctx} `{key}` must be a non-negative integer below 2^53"
+            ));
+        }
+        Ok(x as u64)
+    }
 }
 
 fn write_escaped(out: &mut String, s: &str) {
@@ -551,5 +593,31 @@ mod tests {
         assert_eq!(j.get("k").and_then(Json::as_str), Some("v"));
         assert!(j.get("missing").is_none());
         assert!(j.get("k").unwrap().as_f64().is_none());
+    }
+
+    #[test]
+    fn typed_field_readers() {
+        let j = Json::obj([
+            ("n", 4.5.to_json()),
+            ("c", 12u64.to_json()),
+            ("s", "hi".to_json()),
+        ]);
+        assert_eq!(j.num_field("n", "t"), Ok(4.5));
+        assert_eq!(j.count_field("c", "t"), Ok(12));
+        assert_eq!(j.str_field("s", "t"), Ok("hi"));
+        // Errors name the context and the field.
+        assert_eq!(
+            j.num_field("x", "thing"),
+            Err("thing missing numeric `x`".to_string())
+        );
+        assert!(j.str_field("n", "t").is_err());
+        // Counts reject fractions, negatives, and precision-lossy values.
+        assert!(j.count_field("n", "t").is_err());
+        let neg = Json::obj([("c", Json::Num(-1.0))]);
+        assert!(neg.count_field("c", "t").is_err());
+        let big = Json::obj([("c", Json::Num(9.1e15))]);
+        assert!(big.count_field("c", "t").is_err());
+        let edge = Json::obj([("c", Json::Num(9_007_199_254_740_991.0))]);
+        assert_eq!(edge.count_field("c", "t"), Ok((1 << 53) - 1));
     }
 }

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification for the digiq workspace, runnable fully offline.
 #
-#   scripts/ci.sh          # build + tests + fmt check
-#   scripts/ci.sh --smoke  # also run every bench binary (--small) and the
-#                          # kernel micro-benchmarks in quick mode
+#   scripts/ci.sh                # build + tests + fmt check
+#   scripts/ci.sh --smoke        # also run every bench binary (--small) and
+#                                # the kernel micro-benchmarks in quick mode
+#   scripts/ci.sh --engine-smoke # run a tiny 2-design x 2-benchmark engine
+#                                # sweep with 2 workers and diff its JSON
+#                                # against the checked-in golden file
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,14 +19,34 @@ cargo test -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+engine_smoke() {
+    echo "==> engine smoke: 2 designs x 2 benchmarks, 2 workers, vs golden"
+    local tmp
+    tmp=$(mktemp)
+    cargo run -q --release --offline -p digiq-bench --bin sweep -- --smoke > "$tmp"
+    if ! diff -u tests/golden/engine_smoke.json "$tmp"; then
+        rm -f "$tmp"
+        echo "engine smoke output diverged from tests/golden/engine_smoke.json" >&2
+        exit 1
+    fi
+    rm -f "$tmp"
+    echo "engine smoke matches golden"
+}
+
+if [[ "${1:-}" == "--engine-smoke" ]]; then
+    engine_smoke
+fi
+
 if [[ "${1:-}" == "--smoke" ]]; then
     echo "==> bench binaries (--small)"
     for b in table1_design_space table2_parking table3_cells fig2_trajectory \
              fig3_cycle fig4_waveform fig7_cz_error fig8_synthesis \
-             fig9_exec_time fig10_gate_error scalability; do
+             fig9_exec_time fig10_gate_error scalability sweep; do
         echo "--- $b"
         cargo run -q --release --offline -p digiq-bench --bin "$b" -- --small
     done
+
+    engine_smoke
 
     echo "==> examples"
     for e in quickstart design_space_tour parking_frequencies sfq_bloch_trajectory; do

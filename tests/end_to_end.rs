@@ -4,14 +4,17 @@
 use digiq::calib::bitstream::{find_bitstream, SearchConfig, ZFreedom};
 use digiq::calib::opt_decomp::{decompose_opt, realize_opt, OptBasis};
 use digiq::digiq_core::design::ControllerDesign;
+use digiq::digiq_core::engine::{EvalEngine, SweepReport, SweepSpec};
 use digiq::digiq_core::system::DigiqSystem;
 use digiq::qcircuit::bench;
+use digiq::qcircuit::bench::Benchmark;
 use digiq::qcircuit::ir::StateVector;
 use digiq::qcircuit::lower::lower_to_cz;
 use digiq::qsim::optimize::GaConfig;
 use digiq::qsim::pulse::SfqParams;
 use digiq::qsim::transmon::Transmon;
 use digiq::sfq_hw::cost::CostModel;
+use digiq::sfq_hw::json::ToJson;
 
 /// Physics → calibration → decomposition: a bitstream found by the GA,
 /// recomputed on a drifted qubit, still compiles H below 1e-3 error via
@@ -130,6 +133,59 @@ fn benchmarks_and_budget() {
             "{design} misses the 40 ps clock"
         );
     }
+}
+
+/// Architecture at full breadth: the entire Table I design space runs
+/// through the batched evaluation engine on a small grid, hardware and
+/// all, and the cross-design orderings hold on every benchmark.
+#[test]
+fn full_design_space_through_the_engine() {
+    let mut designs = SweepSpec::table_one_designs();
+    designs.push(ControllerDesign::ImpossibleMimd.into());
+    let spec = SweepSpec::small_grid(
+        designs,
+        &[Benchmark::Qgan, Benchmark::Ising, Benchmark::Bv],
+        6,
+        6,
+    )
+    .with_hardware();
+    let engine = EvalEngine::new(digiq::sfq_hw::cost::CostModel::default());
+    let report = engine.run(&spec, 2);
+
+    // 5 designs × 3 benchmarks, merged design-major.
+    assert_eq!(report.jobs.len(), 15);
+    for job in &report.jobs {
+        assert!(job.report.normalized_time >= 1.0, "{}", job.design);
+        assert!(job.report.exec.total_ns > 0.0);
+        match job.design {
+            ControllerDesign::ImpossibleMimd => {
+                assert_eq!(job.power_w, None, "the reference has no hardware")
+            }
+            d => {
+                let p = job.power_w.unwrap_or_else(|| panic!("{d}: hardware"));
+                assert!(p > 0.0 && p < 11.0, "{d}: {p} W");
+            }
+        }
+    }
+    // Each benchmark compiled exactly once for all five designs.
+    assert_eq!(report.cache.compile_misses, 3);
+    assert_eq!(report.cache.compile_hits, 12);
+    // The DigiQ designs beat the naive register-streaming baseline on
+    // hardware cost by an order of magnitude (Fig 8's headline).
+    let power = |d: ControllerDesign| {
+        report
+            .jobs
+            .iter()
+            .find(|j| j.design == d)
+            .and_then(|j| j.power_w)
+            .unwrap()
+    };
+    assert!(
+        power(ControllerDesign::DigiqOpt { bs: 8 }) * 4.0 < power(ControllerDesign::SfqMimdNaive)
+    );
+    // The whole report survives serialization.
+    let parsed = SweepReport::parse(&report.to_json_string()).unwrap();
+    assert_eq!(parsed, report);
 }
 
 /// The paper's cross-artifact consistency: Table II parking frequencies
