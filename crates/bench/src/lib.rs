@@ -17,6 +17,7 @@
 //! | `fig10_gate_error`    | Fig 10a/b (per-qubit and per-coupler errors) |
 //! | `scalability`         | §VI-A3 (max qubits at 10 W) |
 //! | `sweep`               | batched design × benchmark × seed sweeps via `digiq_core::engine` |
+//! | `cosim`               | cycle-accurate co-simulation (`digiq_core::cosim`) with `--diff-analytic` validation of the Fig 9 model and `--trace` per-cycle dumps |
 //!
 //! The sweep-shaped binaries are driven by the batched evaluation engine
 //! (`digiq_core::engine`): jobs shard over `--workers` threads (default:

@@ -277,11 +277,53 @@ pub fn decompose_batch(
         .collect()
 }
 
+/// A deterministic stand-in basis-index sequence of length `len` over a
+/// `basis_len`-gate alphabet, keyed by `salt`.
+///
+/// The cycle-accurate co-simulator (`digiq_core::cosim`) plays DigiQ_min
+/// gates back one basis operation per controller cycle; its timing model
+/// only fixes the *length* `K` of each decomposition (drawn from the
+/// measured distribution), so per-cycle trace events label each firing
+/// with a representative basis index from this function rather than
+/// re-running the full meet-in-the-middle search per gate. Same
+/// `(len, basis_len, salt)` → same sequence, on every platform.
+///
+/// # Panics
+///
+/// Panics if `basis_len == 0`.
+pub fn representative_sequence(len: usize, basis_len: usize, salt: u64) -> Vec<u8> {
+    assert!(basis_len > 0, "a basis needs at least one gate");
+    let mut rng = qsim::rng::StdRng::seed_from_u64(salt);
+    (0..len)
+        .map(|_| rng.gen_range(0..basis_len as u64) as u8)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use qsim::gates;
     use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn representative_sequences_are_deterministic_and_in_range() {
+        let a = representative_sequence(28, 2, 0xD161);
+        let b = representative_sequence(28, 2, 0xD161);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 28);
+        assert!(a.iter().all(|&g| g < 2));
+        // Salt and alphabet size both matter.
+        assert_ne!(a, representative_sequence(28, 2, 0xD162));
+        let rich = representative_sequence(64, 4, 1);
+        assert!(rich.iter().any(|&g| g >= 2), "richer alphabet is used");
+        assert!(representative_sequence(0, 2, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one gate")]
+    fn representative_sequence_rejects_empty_basis() {
+        let _ = representative_sequence(4, 0, 0);
+    }
 
     #[test]
     fn database_grows_and_dedups() {

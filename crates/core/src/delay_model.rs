@@ -1,0 +1,195 @@
+//! Shared gate → delay-class assignment (§V-A).
+//!
+//! Both execution-time engines — the *analytic* slot model of
+//! [`crate::exec`] and the *cycle-accurate* co-simulator of
+//! [`crate::cosim`] — need the same three per-gate decisions:
+//!
+//! 1. **DigiQ_min / SFQ_MIMD_decomp:** how many controller cycles `K` the
+//!    gate's basis decomposition occupies (drawn deterministically from
+//!    the empirical `calib::min_decomp` length distribution);
+//! 2. **DigiQ_opt:** how many delayed-Ubs firing positions `L ∈ {1,2,3}`
+//!    realize the gate (diagonal → 1, generic → 2, near-π → 3);
+//! 3. **DigiQ_opt:** which *delay class* each firing position demands —
+//!    the §V-A sharing key after angle quantization and drift-variation
+//!    merging; gates in the same class share one broadcast delay slot.
+//!
+//! All three are pure functions of the gate, the qubit, and
+//! [`crate::exec::ExecParams`], hashed through the repo's pinned
+//! [`qsim::rng::stable_hash`]. Keeping them here — instead of inlined in
+//! each engine — is what makes the differential tests
+//! (`crates/core/tests/cosim_diff.rs`) meaningful: the two engines agree
+//! on *what each gate costs* by construction, so any divergence is a real
+//! disagreement between the timing models, not a drifted copy of the
+//! draw arithmetic.
+
+use crate::exec::ExecParams;
+use qcircuit::ir::OneQ;
+
+/// Stable digest used for every observable draw (lands in golden files).
+pub(crate) fn hash_u64(parts: &[u64]) -> u64 {
+    qsim::rng::stable_hash(parts)
+}
+
+/// θ (ZYZ middle angle) of a 1q gate, cheaply.
+pub fn gate_theta(kind: OneQ) -> f64 {
+    match kind {
+        OneQ::H => std::f64::consts::FRAC_PI_2,
+        OneQ::X | OneQ::Y => std::f64::consts::PI,
+        OneQ::Z | OneQ::S | OneQ::Sdg | OneQ::T | OneQ::Tdg | OneQ::Rz(_) => 0.0,
+        OneQ::Rx(a) | OneQ::Ry(a) => a.abs().min(2.0 * std::f64::consts::PI - a.abs()),
+        OneQ::U { theta, .. } => theta.abs(),
+    }
+}
+
+/// Quantized angle-class of a gate (delay-sharing key).
+pub fn gate_bin(kind: OneQ, bins: usize) -> u64 {
+    let q = |a: f64| {
+        ((a.rem_euclid(2.0 * std::f64::consts::PI)) / (2.0 * std::f64::consts::PI) * bins as f64)
+            as u64
+    };
+    match kind {
+        OneQ::H => 1,
+        OneQ::X => 2,
+        OneQ::Y => 3,
+        OneQ::Z => 4,
+        OneQ::S => 5,
+        OneQ::Sdg => 6,
+        OneQ::T => 7,
+        OneQ::Tdg => 8,
+        OneQ::Rx(a) => 100 + q(a),
+        OneQ::Ry(a) => 100 + bins as u64 + q(a),
+        OneQ::Rz(a) => 100 + 2 * bins as u64 + q(a),
+        OneQ::U { theta, phi, lam } => {
+            1000 + q(theta) * (bins as u64 * bins as u64) + q(phi) * bins as u64 + q(lam)
+        }
+    }
+}
+
+/// The per-gate cost/delay assignment view over one [`ExecParams`]. Both
+/// execution engines construct one of these and take every draw through
+/// it, so identical params guarantee identical draws.
+#[derive(Debug, Clone, Copy)]
+pub struct DelayModel<'a> {
+    seed: u64,
+    angle_bins: usize,
+    variation_classes: usize,
+    opt_l3_threshold: f64,
+    min_lengths: &'a [usize],
+}
+
+impl<'a> DelayModel<'a> {
+    /// Borrows the assignment-relevant fields of `params`.
+    pub fn new(params: &'a ExecParams) -> Self {
+        DelayModel {
+            seed: params.seed,
+            angle_bins: params.angle_bins,
+            variation_classes: params.variation_classes,
+            opt_l3_threshold: params.opt_l3_threshold,
+            min_lengths: &params.min_lengths,
+        }
+    }
+
+    /// Decomposition depth `K` (controller cycles) charged to a 1q gate on
+    /// the discrete-basis designs (DigiQ_min, SFQ_MIMD_decomp): a
+    /// deterministic draw from the empirical length distribution, keyed by
+    /// the gate's angle class and a mild per-qubit variation.
+    pub fn min_depth(&self, kind: OneQ, q: usize) -> usize {
+        let idx = hash_u64(&[
+            self.seed,
+            gate_bin(kind, self.angle_bins),
+            q as u64 % 7, // mild per-qubit variation
+        ]) as usize
+            % self.min_lengths.len().max(1);
+        self.min_lengths.get(idx).copied().unwrap_or(1)
+    }
+
+    /// Number of delayed-Ubs firing positions `L ∈ {1, 2, 3}` a 1q gate
+    /// needs on DigiQ_opt (§V-A: diagonal gates absorb into one firing,
+    /// near-π rotations need three).
+    pub fn firing_count(&self, kind: OneQ) -> usize {
+        let theta = gate_theta(kind);
+        if theta == 0.0 {
+            1 // diagonal: single absorbed firing
+        } else if theta > self.opt_l3_threshold {
+            3
+        } else {
+            2
+        }
+    }
+
+    /// The delay class a gate demands at firing position `pos` on
+    /// DigiQ_opt: gates mapping to the same class share one of the `BS`
+    /// broadcast delay slots that cycle (§V-A error margin), distinct
+    /// classes serialize.
+    pub fn delay_class(&self, kind: OneQ, pos: usize, group: usize, q: usize) -> u64 {
+        hash_u64(&[
+            self.seed,
+            gate_bin(kind, self.angle_bins),
+            pos as u64,
+            (group % 2) as u64, // frequency class
+            // drift-forced per-qubit variation
+            (q % self.variation_classes.max(1)) as u64,
+        ])
+    }
+
+    /// The empirical DigiQ_min length distribution backing
+    /// [`DelayModel::min_depth`].
+    pub fn min_lengths(&self) -> &[usize] {
+        self.min_lengths
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::{ControllerDesign, SystemConfig};
+
+    fn params() -> ExecParams {
+        ExecParams::new(SystemConfig::paper_default(
+            ControllerDesign::DigiqOpt { bs: 8 },
+            2,
+        ))
+    }
+
+    #[test]
+    fn min_depth_draws_from_the_distribution() {
+        let p = params();
+        let m = DelayModel::new(&p);
+        for q in 0..20 {
+            let k = m.min_depth(OneQ::H, q);
+            assert!(p.min_lengths.contains(&k), "depth {k} not in distribution");
+        }
+        // Deterministic, and periodic in the 7-class qubit variation.
+        assert_eq!(m.min_depth(OneQ::H, 3), m.min_depth(OneQ::H, 3));
+        assert_eq!(m.min_depth(OneQ::H, 3), m.min_depth(OneQ::H, 10));
+    }
+
+    #[test]
+    fn firing_counts_follow_theta() {
+        let p = params();
+        let m = DelayModel::new(&p);
+        assert_eq!(m.firing_count(OneQ::Rz(0.7)), 1, "diagonal absorbs");
+        assert_eq!(m.firing_count(OneQ::H), 2);
+        assert_eq!(m.firing_count(OneQ::X), 3, "π rotation needs 3 firings");
+    }
+
+    #[test]
+    fn delay_classes_share_and_split() {
+        let p = params();
+        let m = DelayModel::new(&p);
+        // Same gate, same variation class, same frequency class → shared.
+        assert_eq!(
+            m.delay_class(OneQ::H, 0, 0, 0),
+            m.delay_class(OneQ::H, 0, 2, 3)
+        );
+        // Different firing position or angle class → distinct.
+        assert_ne!(
+            m.delay_class(OneQ::H, 0, 0, 0),
+            m.delay_class(OneQ::H, 1, 0, 0)
+        );
+        assert_ne!(
+            m.delay_class(OneQ::H, 0, 0, 0),
+            m.delay_class(OneQ::X, 0, 0, 0)
+        );
+    }
+}

@@ -181,6 +181,23 @@ impl SystemConfig {
         }
     }
 
+    /// Controller-cycle duration in integer SFQ clock ticks — the exact
+    /// time base of the cycle-accurate co-simulator
+    /// ([`crate::cosim`]): 253 ticks for the one-bitstream designs,
+    /// 253 + 255 = 508 for DigiQ_opt's bitstream-plus-delay-window cycle.
+    pub fn cycle_ticks(&self) -> u64 {
+        match self.design {
+            ControllerDesign::DigiqOpt { .. } => (self.bitstream_ticks + self.n_delays) as u64,
+            _ => self.bitstream_ticks as u64,
+        }
+    }
+
+    /// CZ duration in integer SFQ clock ticks (60 ns / 40 ps = 1500),
+    /// rounded to the nearest tick for non-grid-aligned configurations.
+    pub fn cz_ticks(&self) -> u64 {
+        (self.cz_ns / self.clock_period_ns).round() as u64
+    }
+
     /// Minimum controller cycle assumed for cable sizing (§VI-A4: 9 ns for
     /// DigiQ_min, plus the 10.2 ns delay window for DigiQ_opt).
     pub fn cable_cycle_ns(&self) -> f64 {
@@ -308,6 +325,19 @@ mod tests {
         assert!((min.cycle_ns() - 10.12).abs() < 1e-9);
         assert!((opt.cable_cycle_ns() - 19.2).abs() < 1e-9);
         assert!((min.cable_cycle_ns() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tick_counts_are_exact() {
+        let opt = SystemConfig::paper_default(ControllerDesign::DigiqOpt { bs: 8 }, 2);
+        assert_eq!(opt.cycle_ticks(), 508);
+        assert_eq!(opt.cz_ticks(), 1500);
+        let min = SystemConfig::paper_default(ControllerDesign::DigiqMin { bs: 2 }, 2);
+        assert_eq!(min.cycle_ticks(), 253);
+        assert_eq!(min.cz_ticks(), 1500);
+        // Tick counts agree with the ns-domain durations.
+        assert!((opt.cycle_ticks() as f64 * opt.clock_period_ns - opt.cycle_ns()).abs() < 1e-9);
+        assert!((min.cz_ticks() as f64 * min.clock_period_ns - min.cz_ns).abs() < 1e-9);
     }
 
     #[test]

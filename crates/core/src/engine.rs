@@ -47,6 +47,7 @@
 //! assert_eq!(digiq_core::engine::SweepReport::parse(&json), Ok(report));
 //! ```
 
+use crate::cosim::{self, CosimParams, CosimReport};
 use crate::design::{ControllerDesign, SystemConfig};
 use crate::exec::{checkerboard_groups, execute, ExecParams, ExecReport};
 use crate::hardware::{build_hardware, DesignHardware};
@@ -665,6 +666,23 @@ pub struct EvalEngine {
     seq_dbs: KeyedCache<MinBasisKind, SequenceDb>,
     min_lengths: KeyedCache<MinBasisKind, Vec<usize>>,
     baselines: KeyedCache<CompileKey, ExecReport>,
+    cosims: KeyedCache<CosimKey, CosimReport>,
+}
+
+/// Cache key of a co-simulation: the compiled artifact plus everything
+/// the engine-derived [`ExecParams`] depends on (design point and derived
+/// seed). Engine co-simulations always run untraced, so the trace flag is
+/// not part of the key.
+type CosimKey = (CompileKey, ControllerDesign, usize, u64);
+
+/// The shared per-job artifact bundle assembled by `EvalEngine::job_context`
+/// for both evaluation modes.
+struct JobContext {
+    key: CompileKey,
+    circuit: Arc<Circuit>,
+    compiled: Arc<CompiledCircuit>,
+    params: ExecParams,
+    groups: Vec<usize>,
 }
 
 /// Cache key of a compiled artifact: (circuit fingerprint, layout
@@ -778,12 +796,13 @@ impl EvalEngine {
         }
     }
 
-    /// Evaluates one job (pure given the spec; used by [`EvalEngine::run`]
-    /// and directly by tests).
-    pub fn run_job(&self, spec: &SweepSpec, job: &JobSpec) -> JobRecord {
+    /// Assembles the shared per-job artifacts — identical for the
+    /// analytic and co-simulation modes.
+    fn job_context(&self, spec: &SweepSpec, job: &JobSpec) -> JobContext {
         let grid = Grid::new(spec.grid_rows, spec.grid_cols);
         let circuit = self.benchmark_circuit(job.bench, spec.base_seed);
         let compiled = self.compiled(&circuit, &grid);
+        let key = compile_key(&circuit, &grid);
 
         let mut config = SystemConfig::paper_default(job.point.design, job.point.groups);
         config.n_qubits = grid.n_qubits();
@@ -795,18 +814,35 @@ impl EvalEngine {
 
         let groups =
             checkerboard_groups(grid.cols(), grid.n_qubits(), job.point.groups.min(2).max(1));
+        JobContext {
+            key,
+            circuit,
+            compiled,
+            params,
+            groups,
+        }
+    }
+
+    /// Evaluates one job (pure given the spec; used by [`EvalEngine::run`]
+    /// and directly by tests).
+    pub fn run_job(&self, spec: &SweepSpec, job: &JobSpec) -> JobRecord {
+        let JobContext {
+            key,
+            circuit,
+            compiled,
+            params,
+            groups,
+        } = self.job_context(spec, job);
         let exec = execute(&compiled.physical, &compiled.slots, &groups, &params);
         // The Impossible MIMD normalization baseline ignores the seed,
         // the group map and the decomposition distribution, so it is a
         // pure function of the compiled artifact — memoize it per
         // compile key instead of re-running it for every design and seed.
-        let base_exec = self
-            .baselines
-            .get_or_build(compile_key(&circuit, &grid), || {
-                let mut base = params.clone();
-                base.config.design = ControllerDesign::ImpossibleMimd;
-                execute(&compiled.physical, &compiled.slots, &groups, &base)
-            });
+        let base_exec = self.baselines.get_or_build(key, || {
+            let mut base = params.clone();
+            base.config.design = ControllerDesign::ImpossibleMimd;
+            execute(&compiled.physical, &compiled.slots, &groups, &base)
+        });
 
         let power_w = if spec.synthesize_hardware {
             self.hardware(job.point.design, job.point.groups)
@@ -846,6 +882,196 @@ impl EvalEngine {
             jobs: records,
             cache: self.cache_stats().since(&before),
         }
+    }
+
+    /// Co-simulates one job: the cycle-accurate machine and the analytic
+    /// model run on the *same* compiled artifact, parameters, and group
+    /// map, so the record carries both sides of the differential check.
+    /// Co-simulations are memoized per (compiled artifact, design point,
+    /// derived seed).
+    pub fn run_cosim_job(&self, spec: &SweepSpec, job: &JobSpec) -> CosimRecord {
+        let JobContext {
+            key,
+            circuit,
+            compiled,
+            params,
+            groups,
+        } = self.job_context(spec, job);
+        let cosim = self.cosims.get_or_build(
+            (key, job.point.design, job.point.groups, params.seed),
+            || {
+                cosim::simulate(
+                    &compiled.physical,
+                    &compiled.slots,
+                    &groups,
+                    &CosimParams::new(params.clone()),
+                )
+            },
+        );
+        let analytic = execute(&compiled.physical, &compiled.slots, &groups, &params);
+        CosimRecord {
+            design: job.point.design,
+            groups: job.point.groups,
+            benchmark: job.bench.bench.name().to_string(),
+            n_qubits: circuit.n_qubits(),
+            seed: job.seed,
+            cosim: (*cosim).clone(),
+            analytic,
+        }
+    }
+
+    /// The co-simulation evaluation mode: the same sweep sharding and
+    /// job-index merge as [`EvalEngine::run`], but every job runs the
+    /// cycle-accurate machine alongside the analytic model. Byte-identical
+    /// serialized output for any worker count.
+    pub fn run_cosim(&self, spec: &SweepSpec, workers: usize) -> CosimSweepReport {
+        let jobs = spec.jobs();
+        let records = par_map_ordered(&jobs, workers, |_, job| self.run_cosim_job(spec, job));
+        CosimSweepReport {
+            grid_rows: spec.grid_rows,
+            grid_cols: spec.grid_cols,
+            jobs: records,
+        }
+    }
+
+    /// Co-simulation cache accounting: `(hits, misses)`. Kept out of
+    /// [`CacheStats`] so the analytic sweep's serialized report (and its
+    /// golden file) is unchanged by the co-simulation mode.
+    pub fn cosim_cache_stats(&self) -> (u64, u64) {
+        (self.cosims.hits(), self.cosims.misses())
+    }
+}
+
+/// One merged co-simulation sweep row: the cycle-accurate report and the
+/// analytic report it must reproduce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosimRecord {
+    /// Controller design.
+    pub design: ControllerDesign,
+    /// Group count `G`.
+    pub groups: usize,
+    /// Benchmark display name.
+    pub benchmark: String,
+    /// Width of the generated benchmark instance.
+    pub n_qubits: usize,
+    /// Drift seed of this job.
+    pub seed: u64,
+    /// The cycle-accurate co-simulation.
+    pub cosim: CosimReport,
+    /// The analytic model on the identical artifact and draws.
+    pub analytic: ExecReport,
+}
+
+impl CosimRecord {
+    /// The divergence between the two engines for this job.
+    pub fn diff(&self) -> cosim::CosimDiff {
+        cosim::diff_analytic(&self.cosim, &self.analytic)
+    }
+
+    /// Reads a record back from its [`ToJson`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "cosim record";
+        Ok(CosimRecord {
+            design: ControllerDesign::from_json(
+                j.get("design").ok_or("cosim record missing `design`")?,
+            )?,
+            groups: j.count_field("groups", CTX)? as usize,
+            benchmark: j.str_field("benchmark", CTX)?.to_string(),
+            n_qubits: j.count_field("n_qubits", CTX)? as usize,
+            seed: j.count_field("seed", CTX)?,
+            cosim: CosimReport::from_json(j.get("cosim").ok_or("cosim record missing `cosim`")?)?,
+            analytic: ExecReport::from_json(
+                j.get("analytic").ok_or("cosim record missing `analytic`")?,
+            )?,
+        })
+    }
+}
+
+impl ToJson for CosimRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("design", self.design.to_json()),
+            ("groups", self.groups.to_json()),
+            ("benchmark", self.benchmark.to_json()),
+            ("n_qubits", self.n_qubits.to_json()),
+            ("seed", self.seed.to_json()),
+            ("cosim", self.cosim.to_json()),
+            ("analytic", self.analytic.to_json()),
+        ])
+    }
+}
+
+/// The aggregated result of one co-simulation sweep, serializable through
+/// [`sfq_hw::json`] and readable back via [`CosimSweepReport::parse`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CosimSweepReport {
+    /// Device grid rows.
+    pub grid_rows: usize,
+    /// Device grid columns.
+    pub grid_cols: usize,
+    /// One record per job, in merge (job-index) order.
+    pub jobs: Vec<CosimRecord>,
+}
+
+impl ToJson for CosimSweepReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("grid_rows", self.grid_rows.to_json()),
+            ("grid_cols", self.grid_cols.to_json()),
+            ("jobs", self.jobs.to_json()),
+        ])
+    }
+}
+
+impl CosimSweepReport {
+    /// Worst divergence across the sweep (`None` when empty).
+    pub fn worst_diff(&self) -> Option<cosim::CosimDiff> {
+        self.jobs
+            .iter()
+            .map(|r| r.diff())
+            .max_by(|a, b| a.total_rel_err.total_cmp(&b.total_rel_err))
+    }
+
+    /// True when every job's integer counters match to the cycle and ns
+    /// totals agree within `tol`.
+    pub fn all_exact(&self, tol: f64) -> bool {
+        self.jobs.iter().all(|r| r.diff().is_exact(tol))
+    }
+
+    /// Reads a report back from its [`ToJson`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "cosim sweep report";
+        let jobs = match j.get("jobs") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(CosimRecord::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("cosim sweep report missing array `jobs`".to_string()),
+        };
+        Ok(CosimSweepReport {
+            grid_rows: j.count_field("grid_rows", CTX)? as usize,
+            grid_cols: j.count_field("grid_cols", CTX)? as usize,
+            jobs,
+        })
+    }
+
+    /// Parses a serialized report (the inverse of
+    /// [`ToJson::to_json_string`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON syntax error or the first structural mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        CosimSweepReport::from_json(&j)
     }
 }
 

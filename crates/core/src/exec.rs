@@ -25,8 +25,9 @@
 //! contention distribution); all draws are deterministic hashes, so runs
 //! reproduce exactly. See DESIGN.md.
 
+use crate::delay_model::DelayModel;
 use crate::design::{ControllerDesign, SystemConfig};
-use qcircuit::ir::{Circuit, Gate, OneQ};
+use qcircuit::ir::{Circuit, Gate};
 use qcircuit::schedule::Slot;
 use sfq_hw::json::{Json, ToJson};
 use std::collections::{HashMap, HashSet};
@@ -115,46 +116,65 @@ impl ExecReport {
     }
 }
 
-// The draws below are observable results (they set gate durations that
-// land in golden files), so they use the repo's pinned stable hash, not
-// std's release-dependent DefaultHasher.
-fn hash_u64(parts: &[u64]) -> u64 {
-    qsim::rng::stable_hash(parts)
+/// The per-slot DigiQ_opt cost under the shared delay model: how many
+/// sequencer sub-cycles the slowest group needs, how many of those are
+/// pure delay-slot contention, and how many CZs the slot carries.
+///
+/// Exposed so the differential tests
+/// (`crates/core/tests/cosim_diff.rs`) can pin the co-simulator's
+/// per-slot serialization attribution against the analytic model
+/// slot-for-slot, not just in aggregate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptSlotCost {
+    /// Sub-cycles of the slowest group (what the slot waits for).
+    pub oneq_cycles: u64,
+    /// Contention-expanded sub-cycles across all groups and positions
+    /// (`Σ ⌈distinct/BS⌉ − 1`).
+    pub serialization_cycles: u64,
+    /// CZ gates in the slot.
+    pub cz_count: u64,
 }
 
-/// θ (ZYZ middle angle) of a 1q gate, cheaply.
-fn gate_theta(kind: OneQ) -> f64 {
-    match kind {
-        OneQ::H => std::f64::consts::FRAC_PI_2,
-        OneQ::X | OneQ::Y => std::f64::consts::PI,
-        OneQ::Z | OneQ::S | OneQ::Sdg | OneQ::T | OneQ::Tdg | OneQ::Rz(_) => 0.0,
-        OneQ::Rx(a) | OneQ::Ry(a) => a.abs().min(2.0 * std::f64::consts::PI - a.abs()),
-        OneQ::U { theta, .. } => theta.abs(),
-    }
-}
-
-/// Quantized angle-class of a gate (delay-sharing key).
-fn gate_bin(kind: OneQ, bins: usize) -> u64 {
-    let q = |a: f64| {
-        ((a.rem_euclid(2.0 * std::f64::consts::PI)) / (2.0 * std::f64::consts::PI) * bins as f64)
-            as u64
-    };
-    match kind {
-        OneQ::H => 1,
-        OneQ::X => 2,
-        OneQ::Y => 3,
-        OneQ::Z => 4,
-        OneQ::S => 5,
-        OneQ::Sdg => 6,
-        OneQ::T => 7,
-        OneQ::Tdg => 8,
-        OneQ::Rx(a) => 100 + q(a),
-        OneQ::Ry(a) => 100 + bins as u64 + q(a),
-        OneQ::Rz(a) => 100 + 2 * bins as u64 + q(a),
-        OneQ::U { theta, phi, lam } => {
-            1000 + q(theta) * (bins as u64 * bins as u64) + q(phi) * bins as u64 + q(lam)
+/// Computes [`OptSlotCost`] for one schedule slot of a lowered circuit
+/// under DigiQ_opt with `bs` broadcast delay slots per cycle.
+///
+/// # Panics
+///
+/// Panics if a slot references an out-of-range gate, or the circuit
+/// contains non-lowered gates.
+pub fn opt_slot_cost(
+    circuit: &Circuit,
+    slot: &Slot,
+    group_of: &[usize],
+    model: &DelayModel<'_>,
+    bs: usize,
+) -> OptSlotCost {
+    // Group → firing position → distinct delay classes.
+    let mut demands: HashMap<(usize, usize), HashSet<u64>> = HashMap::new();
+    let mut cost = OptSlotCost::default();
+    for &gi in slot {
+        match circuit.gates()[gi] {
+            Gate::Cz { .. } => cost.cz_count += 1,
+            Gate::OneQ { q, kind } => {
+                let group = group_of.get(q).copied().unwrap_or(0);
+                for pos in 0..model.firing_count(kind) {
+                    let class = model.delay_class(kind, pos, group, q);
+                    demands.entry((group, pos)).or_default().insert(class);
+                }
+            }
+            _ => panic!("executor requires a lowered circuit"),
         }
     }
+    // Per group: sum over firing positions of the contention-expanded
+    // sub-cycles; the slot waits for the slowest group.
+    let mut per_group: HashMap<usize, u64> = HashMap::new();
+    for ((group, _pos), classes) in &demands {
+        let sub = (classes.len() as u64).div_ceil(bs as u64);
+        *per_group.entry(*group).or_insert(0) += sub;
+        cost.serialization_cycles += sub - 1;
+    }
+    cost.oneq_cycles = per_group.values().copied().max().unwrap_or(0);
+    cost
 }
 
 /// Executes a scheduled circuit under the model, returning the report.
@@ -173,8 +193,10 @@ pub fn execute(
     group_of: &[usize],
     params: &ExecParams,
 ) -> ExecReport {
+    qcircuit::lower::assert_lowered(circuit, "executor");
     let cfg = &params.config;
     let cycle = cfg.cycle_ns();
+    let model = DelayModel::new(params);
     let mut report = ExecReport::default();
 
     // Designs without cross-qubit resource coupling: exact per-qubit
@@ -203,13 +225,7 @@ pub fn execute(
                                 cfg.bitstream_ticks as f64 * cfg.clock_period_ns
                             }
                             _ => {
-                                let idx = hash_u64(&[
-                                    params.seed,
-                                    gate_bin(kind, params.angle_bins),
-                                    q as u64 % 7,
-                                ]) as usize
-                                    % params.min_lengths.len().max(1);
-                                let k = params.min_lengths[idx];
+                                let k = model.min_depth(kind, q);
                                 report.oneq_cycles += k as u64;
                                 k as f64 * cycle
                             }
@@ -232,98 +248,19 @@ pub fn execute(
         return report;
     }
 
+    // DigiQ_opt: slot-synchronous SIMD — every slot costs the slowest
+    // group's contention-expanded sub-cycles, with CZs occupying their 60
+    // ns concurrently.
+    let bs = match cfg.design {
+        ControllerDesign::DigiqOpt { bs } => bs,
+        _ => unreachable!("non-opt designs returned above"),
+    };
     for slot in slots {
-        let mut slot_ns: f64 = 0.0;
-        let mut has_cz = false;
-        // Group → firing position → distinct delay classes (DigiQ_opt).
-        let mut demands: HashMap<(usize, usize), HashSet<u64>> = HashMap::new();
-        let mut max_min_k = 0usize;
-        let mut any_1q = false;
-
-        for &gi in slot {
-            match circuit.gates()[gi] {
-                Gate::Cz { .. } => {
-                    has_cz = true;
-                }
-                Gate::OneQ { q, kind } => {
-                    any_1q = true;
-                    match cfg.design {
-                        ControllerDesign::ImpossibleMimd | ControllerDesign::SfqMimdNaive => {}
-                        ControllerDesign::SfqMimdDecomp | ControllerDesign::DigiqMin { .. } => {
-                            // Decomposition depth K (no serialization).
-                            let idx = hash_u64(&[
-                                params.seed,
-                                gate_bin(kind, params.angle_bins),
-                                q as u64 % 7, // mild per-qubit variation
-                            ]) as usize
-                                % params.min_lengths.len().max(1);
-                            max_min_k = max_min_k.max(params.min_lengths[idx]);
-                        }
-                        ControllerDesign::DigiqOpt { .. } => {
-                            let theta = gate_theta(kind);
-                            let l = if theta == 0.0 {
-                                1 // diagonal: single absorbed firing
-                            } else if theta > params.opt_l3_threshold {
-                                3
-                            } else {
-                                2
-                            };
-                            let group = group_of.get(q).copied().unwrap_or(0);
-                            let bin = gate_bin(kind, params.angle_bins);
-                            for pos in 0..l {
-                                let delay_class = hash_u64(&[
-                                    params.seed,
-                                    bin,
-                                    pos as u64,
-                                    (group % 2) as u64, // frequency class
-                                    // drift-forced per-qubit variation
-                                    (q % params.variation_classes.max(1)) as u64,
-                                ]);
-                                demands.entry((group, pos)).or_default().insert(delay_class);
-                            }
-                        }
-                    }
-                }
-                _ => panic!("executor requires a lowered circuit"),
-            }
-        }
-
-        // Charge 1q time.
-        match cfg.design {
-            ControllerDesign::ImpossibleMimd | ControllerDesign::SfqMimdNaive => {
-                if any_1q {
-                    let t = cfg.bitstream_ticks as f64 * cfg.clock_period_ns;
-                    slot_ns = slot_ns.max(t);
-                    report.oneq_cycles += 1;
-                }
-            }
-            ControllerDesign::SfqMimdDecomp | ControllerDesign::DigiqMin { .. } => {
-                if any_1q {
-                    slot_ns = slot_ns.max(max_min_k as f64 * cycle);
-                    report.oneq_cycles += max_min_k as u64;
-                }
-            }
-            ControllerDesign::DigiqOpt { bs } => {
-                if any_1q {
-                    // Per group: sum over firing positions of the
-                    // contention-expanded sub-cycles; slot waits for the
-                    // slowest group.
-                    let mut per_group: HashMap<usize, u64> = HashMap::new();
-                    let mut serialization = 0u64;
-                    for ((group, _pos), classes) in &demands {
-                        let sub = (classes.len() as u64).div_ceil(bs as u64);
-                        *per_group.entry(*group).or_insert(0) += sub;
-                        serialization += sub - 1;
-                    }
-                    let worst = per_group.values().copied().max().unwrap_or(0);
-                    slot_ns = slot_ns.max(worst as f64 * cycle);
-                    report.oneq_cycles += worst;
-                    report.serialization_cycles += serialization;
-                }
-            }
-        }
-
-        if has_cz {
+        let cost = opt_slot_cost(circuit, slot, group_of, &model, bs);
+        let mut slot_ns = cost.oneq_cycles as f64 * cycle;
+        report.oneq_cycles += cost.oneq_cycles;
+        report.serialization_cycles += cost.serialization_cycles;
+        if cost.cz_count > 0 {
             slot_ns = slot_ns.max(cfg.cz_ns);
             report.cz_ns += cfg.cz_ns;
         }

@@ -7,8 +7,13 @@
 //!   control-payload parameters of §IV;
 //! * [`hardware`] — Fig 5's structure composed from synthesized `sfq_hw`
 //!   modules, priced by the calibrated cost model (Fig 8a/8b/8c);
-//! * [`exec`] — the SIMD execution-time model with delay-slot contention
-//!   (Fig 9);
+//! * [`exec`] — the analytic SIMD execution-time model with delay-slot
+//!   contention (Fig 9);
+//! * [`delay_model`] — the shared gate → delay-class / decomposition-depth
+//!   assignment both execution engines draw from;
+//! * [`cosim`] — the cycle-accurate controller co-simulator: per-group
+//!   sequencers, double-buffered select staging, per-cycle traces, and
+//!   exact differential validation of the analytic model;
 //! * [`error_model`] — per-qubit / per-coupler gate errors under drift
 //!   with full software calibration (Fig 10);
 //! * [`scalability`] — qubits-per-10 W analysis (§VI-A3);
@@ -32,6 +37,8 @@
 //! assert!(hw.report.power_w < 1.0); // fits the fridge with room to spare
 //! ```
 
+pub mod cosim;
+pub mod delay_model;
 pub mod design;
 pub mod engine;
 pub mod error_model;
@@ -40,7 +47,8 @@ pub mod hardware;
 pub mod scalability;
 pub mod system;
 
+pub use cosim::{CosimParams, CosimReport};
 pub use design::{ControllerDesign, SystemConfig};
-pub use engine::{EvalEngine, SweepReport, SweepSpec};
+pub use engine::{CosimSweepReport, EvalEngine, SweepReport, SweepSpec};
 pub use hardware::{build_hardware, DesignHardware};
 pub use system::{BenchmarkReport, DigiqSystem};

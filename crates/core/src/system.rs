@@ -109,8 +109,13 @@ impl DigiqSystem {
         }
     }
 
-    /// Compiles and executes a circuit through the full pipeline.
-    pub fn evaluate_circuit(&self, name: &str, circuit: &Circuit) -> BenchmarkReport {
+    /// The §VI-B compile pipeline both evaluation modes share: lower →
+    /// route (snake) → lower SWAPs → crosstalk-aware schedule, plus the
+    /// checkerboard group map. Returns `(physical, slots, groups, swaps)`.
+    fn compile(
+        &self,
+        circuit: &Circuit,
+    ) -> (Circuit, Vec<qcircuit::schedule::Slot>, Vec<usize>, usize) {
         let lowered = lower_to_cz(circuit);
         let routed = route(
             &lowered,
@@ -125,6 +130,12 @@ impl DigiqSystem {
             self.grid.n_qubits(),
             self.config.groups.min(2).max(1),
         );
+        (physical, slots, groups, routed.swap_count)
+    }
+
+    /// Compiles and executes a circuit through the full pipeline.
+    pub fn evaluate_circuit(&self, name: &str, circuit: &Circuit) -> BenchmarkReport {
+        let (physical, slots, groups, swaps) = self.compile(circuit);
         let exec = execute(&physical, &slots, &groups, &self.exec_params);
 
         let mut base = self.exec_params.clone();
@@ -134,7 +145,7 @@ impl DigiqSystem {
         BenchmarkReport {
             benchmark: name.to_string(),
             logical_gates: circuit.len(),
-            swaps: routed.swap_count,
+            swaps,
             slots: slots.len(),
             normalized_time: exec.total_ns / base_exec.total_ns.max(f64::MIN_POSITIVE),
             exec,
@@ -145,6 +156,19 @@ impl DigiqSystem {
     pub fn evaluate_benchmark(&self, bench: Benchmark) -> BenchmarkReport {
         let circuit = bench.paper_scale();
         self.evaluate_circuit(bench.name(), &circuit)
+    }
+
+    /// Runs the cycle-accurate co-simulator ([`crate::cosim`]) on a
+    /// circuit through the same compile pipeline as
+    /// [`DigiqSystem::evaluate_circuit`] (shared `compile` helper) —
+    /// identical routing, scheduling, group map and execution parameters,
+    /// so the returned report is exactly comparable to the analytic one
+    /// (see [`crate::cosim::diff_analytic`]).
+    pub fn cosimulate_circuit(&self, circuit: &Circuit, trace: bool) -> crate::cosim::CosimReport {
+        let (physical, slots, groups, _swaps) = self.compile(circuit);
+        let mut params = crate::cosim::CosimParams::new(self.exec_params.clone());
+        params.trace = trace;
+        crate::cosim::simulate(&physical, &slots, &groups, &params)
     }
 }
 
@@ -307,6 +331,26 @@ mod tests {
             r16.normalized_time,
             r4.normalized_time
         );
+    }
+
+    #[test]
+    fn cosimulation_matches_evaluation_through_the_facade() {
+        let system = DigiqSystem::build(
+            ControllerDesign::DigiqOpt { bs: 8 },
+            2,
+            &CostModel::default(),
+        );
+        let mut c = Circuit::new(16);
+        for q in 0..16 {
+            c.ry(q, 0.2 + 0.03 * q as f64);
+        }
+        c.cz(0, 1);
+        let analytic = system.evaluate_circuit("facade", &c);
+        let cosim = system.cosimulate_circuit(&c, false);
+        let d = crate::cosim::diff_analytic(&cosim, &analytic.exec);
+        assert!(d.is_exact(1e-9), "{d:?}");
+        assert!(cosim.trace.is_empty());
+        assert!(!system.cosimulate_circuit(&c, true).trace.is_empty());
     }
 
     #[test]

@@ -80,10 +80,31 @@ pub fn is_lowered(c: &Circuit) -> bool {
         .all(|g| matches!(g, Gate::OneQ { .. } | Gate::Cz { .. }))
 }
 
+/// Asserts that a circuit is in hardware form ({1q, CZ} only) — the
+/// shared entry guard of every pass that consumes lowered circuits
+/// (routing, scheduling, fusion, both execution engines).
+///
+/// # Panics
+///
+/// Panics with a typed message naming the offending pass, gate, and gate
+/// index when the circuit contains `CX`/`SWAP`/`CCX` gates; run
+/// [`lower_to_cz`] first.
+pub fn assert_lowered(c: &Circuit, who: &str) {
+    if let Some((i, g)) = c
+        .gates()
+        .iter()
+        .enumerate()
+        .find(|(_, g)| !matches!(g, Gate::OneQ { .. } | Gate::Cz { .. }))
+    {
+        panic!("{who} requires a lowered circuit ({{1q, CZ}} only), but gate {i} is `{g}` — run lower_to_cz first");
+    }
+}
+
 /// Fuses runs of adjacent single-qubit gates on the same qubit into one
 /// `U(θ,φ,λ)` gate (the per-cycle unit DigiQ executes, §IV-A2). CZ gates
 /// act as barriers. Returns the fused circuit.
 pub fn fuse_single_qubit_runs(c: &Circuit) -> Circuit {
+    assert_lowered(c, "fuse_single_qubit_runs");
     let mut out = Circuit::new(c.n_qubits());
     // Pending accumulated unitary per qubit.
     let mut pending: Vec<Option<qsim::CMat>> = vec![None; c.n_qubits()];

@@ -201,6 +201,7 @@ impl RoutedCircuit {
 /// Panics if the circuit contains un-lowered `CX`/`CCX`/`SWAP` gates, or
 /// needs more qubits than the grid provides.
 pub fn route(c: &Circuit, grid: &Grid, initial: Layout, cfg: &RouterConfig) -> RoutedCircuit {
+    crate::lower::assert_lowered(c, "route");
     assert!(c.n_qubits() <= grid.n_qubits());
     let mut best: Option<RoutedCircuit> = None;
     for t in 0..cfg.trials.max(1) {

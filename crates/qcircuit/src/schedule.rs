@@ -43,6 +43,7 @@ pub fn czs_interfere(grid: &Grid, a: (usize, usize), b: (usize, usize)) -> bool 
 ///
 /// Panics if the circuit contains gates other than 1q and CZ.
 pub fn schedule_crosstalk_aware(c: &Circuit, grid: &Grid) -> Vec<Slot> {
+    crate::lower::assert_lowered(c, "scheduler");
     // First ASAP moments (dependency layering)…
     let moments = c.moments();
     let mut slots: Vec<Slot> = Vec::new();

@@ -7,6 +7,9 @@
 #   scripts/ci.sh --engine-smoke # run a tiny 2-design x 2-benchmark engine
 #                                # sweep with 2 workers and diff its JSON
 #                                # against the checked-in golden file
+#   scripts/ci.sh --cosim-smoke  # run the tiny cycle-accurate co-simulation
+#                                # sweep (cosim --smoke) and diff its JSON
+#                                # against tests/golden/cosim_smoke.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,22 +22,36 @@ cargo test -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-engine_smoke() {
-    echo "==> engine smoke: 2 designs x 2 benchmarks, 2 workers, vs golden"
-    local tmp
+# golden_smoke <label> <bin> <golden>: run `<bin> --smoke` (2 designs x
+# 2 benchmarks, 2 workers) and diff its JSON against the committed golden.
+golden_smoke() {
+    local label=$1 bin=$2 golden=$3 tmp
+    echo "==> $label smoke: 2 designs x 2 benchmarks, 2 workers, vs golden"
     tmp=$(mktemp)
-    cargo run -q --release --offline -p digiq-bench --bin sweep -- --smoke > "$tmp"
-    if ! diff -u tests/golden/engine_smoke.json "$tmp"; then
+    if ! cargo run -q --release --offline -p digiq-bench --bin "$bin" -- --smoke > "$tmp" \
+        || ! diff -u "$golden" "$tmp"; then
         rm -f "$tmp"
-        echo "engine smoke output diverged from tests/golden/engine_smoke.json" >&2
+        echo "$label smoke output diverged from $golden" >&2
         exit 1
     fi
     rm -f "$tmp"
-    echo "engine smoke matches golden"
+    echo "$label smoke matches golden"
+}
+
+engine_smoke() {
+    golden_smoke engine sweep tests/golden/engine_smoke.json
+}
+
+cosim_smoke() {
+    golden_smoke cosim cosim tests/golden/cosim_smoke.json
 }
 
 if [[ "${1:-}" == "--engine-smoke" ]]; then
     engine_smoke
+fi
+
+if [[ "${1:-}" == "--cosim-smoke" ]]; then
+    cosim_smoke
 fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
@@ -46,7 +63,11 @@ if [[ "${1:-}" == "--smoke" ]]; then
         cargo run -q --release --offline -p digiq-bench --bin "$b" -- --small
     done
 
+    echo "--- cosim (--diff-analytic)"
+    cargo run -q --release --offline -p digiq-bench --bin cosim -- --diff-analytic --small
+
     engine_smoke
+    cosim_smoke
 
     echo "==> examples"
     for e in quickstart design_space_tour parking_frequencies sfq_bloch_trajectory; do

@@ -188,6 +188,41 @@ fn full_design_space_through_the_engine() {
     assert_eq!(parsed, report);
 }
 
+/// The two execution engines, end to end through the facade: the
+/// cycle-accurate co-simulator reproduces the analytic model's cycle
+/// counts on the full small design space, and the co-simulation sweep
+/// survives serialization.
+#[test]
+fn cosim_validates_the_analytic_model_end_to_end() {
+    let mut designs = SweepSpec::table_one_designs();
+    designs.push(ControllerDesign::ImpossibleMimd.into());
+    let spec = SweepSpec::small_grid(designs, &[Benchmark::Qgan, Benchmark::Bv], 6, 6);
+    let engine = EvalEngine::new(digiq::sfq_hw::cost::CostModel::default());
+    let report = engine.run_cosim(&spec, 2);
+
+    assert_eq!(report.jobs.len(), 10);
+    assert!(
+        report.all_exact(1e-9),
+        "divergence: {:?}",
+        report.worst_diff()
+    );
+    // The SIMD contention story holds in the cycle-accurate machine too:
+    // the analytic and simulated serialization agree per design, and the
+    // co-simulator attributes every contention cycle to some slot.
+    for job in &report.jobs {
+        assert_eq!(
+            job.cosim.serialization_cycles, job.analytic.serialization_cycles,
+            "{}",
+            job.design
+        );
+        let attributed: u64 = job.cosim.slot_serialization.iter().map(|s| s.cycles).sum();
+        assert_eq!(attributed, job.cosim.serialization_cycles);
+    }
+    let parsed =
+        digiq::digiq_core::engine::CosimSweepReport::parse(&report.to_json_string()).unwrap();
+    assert_eq!(parsed, report);
+}
+
 /// The paper's cross-artifact consistency: Table II parking frequencies
 /// are exactly where the drift population is parked, and the delay phases
 /// those frequencies generate drive the opt decomposition.
