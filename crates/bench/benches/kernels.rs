@@ -75,6 +75,35 @@ fn bench_compile(h: &mut Harness) {
     h.bench("schedule_ising64", || {
         qcircuit::schedule::schedule_crosstalk_aware(black_box(&phys), &grid)
     });
+
+    // The whole pass pipeline (lower → route → lower_swaps → schedule,
+    // post-validated per stage) on the same workload, default vs the
+    // alternative strategies.
+    use qcircuit::pipeline::{
+        CompileArtifact, Pipeline, PipelineConfig, RouteStrategy, ScheduleStrategy,
+    };
+    let logical = qcircuit::bench::ising_chain(64, 2, 0.3, 0.7);
+    let mut pipe = |name: &'static str, cfg: PipelineConfig| {
+        let pipeline = Pipeline::standard(&cfg);
+        h.bench(name, || {
+            pipeline
+                .run(
+                    CompileArtifact::new(black_box(&logical).clone(), Layout::snake(64, &grid)),
+                    &grid,
+                )
+                .unwrap()
+                .0
+                .scheduled()
+                .len()
+        });
+    };
+    pipe("pipeline_default_ising64", PipelineConfig::default());
+    pipe(
+        "pipeline_lookahead_asap_ising64",
+        PipelineConfig::default()
+            .with_router(RouteStrategy::Lookahead { window: 16 })
+            .with_scheduler(ScheduleStrategy::Asap),
+    );
 }
 
 fn bench_synthesis(h: &mut Harness) {

@@ -19,9 +19,14 @@
 //! * `--trace` — co-simulates one small DigiQ_opt workload with the
 //!   per-cycle trace enabled and prints the first events.
 //!
-//! Common flags: `--workers N` (default: all cores), `--seeds N` (drift
-//! seeds `0..N`), `--json` (print the report JSON instead of the table).
+//! Common flags (parsed by `digiq_bench::cli`): `--workers N` (default:
+//! all cores), `--seeds N` (drift seeds `0..N`), `--json` (print the
+//! report JSON instead of the table), and the pass-pipeline strategy
+//! selection `--router greedy|lookahead` / `--scheduler crosstalk|asap`
+//! (the differential check holds for every configuration — both engines
+//! consume the identical compiled artifact).
 
+use digiq_bench::cli::CommonArgs;
 use digiq_core::cosim::{simulate, CosimParams};
 use digiq_core::design::{ControllerDesign, SystemConfig};
 use digiq_core::engine::{default_workers, CosimSweepReport, EvalEngine, SweepSpec};
@@ -180,24 +185,14 @@ fn main() {
         trace_demo();
         return;
     }
-    let smoke = digiq_bench::has_flag("--smoke");
-    let full = digiq_bench::has_flag("--full");
-    let seeds: usize = digiq_bench::arg_value("--seeds")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
-    let workers: usize = if smoke {
-        2
-    } else {
-        digiq_bench::arg_value("--workers")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(default_workers)
-    };
-    let spec = spec_for_mode(smoke, full, seeds);
+    let args = CommonArgs::parse(default_workers());
+    let (smoke, workers) = (args.smoke, args.workers);
+    let spec = spec_for_mode(smoke, args.full, args.seeds).with_pipeline(args.pipeline);
 
     let engine = EvalEngine::new(CostModel::default());
     let report = engine.run_cosim(&spec, workers);
 
-    if smoke || digiq_bench::has_flag("--json") {
+    if smoke || args.json {
         println!("{}", report.to_json_string());
         if smoke {
             return; // the golden check diffs pure JSON output
@@ -206,12 +201,21 @@ fn main() {
         print_table(&report);
         let (hits, misses) = engine.cosim_cache_stats();
         println!("cosim cache: {misses} simulated, {hits} reused");
+        for p in &engine.pass_cache_stats().passes {
+            println!(
+                "pipeline pass {:12} {} built, {} reused ({})",
+                p.pass,
+                p.misses,
+                p.hits,
+                digiq_bench::timing::fmt_ns(p.wall_ns)
+            );
+        }
     }
 
     if digiq_bench::has_flag("--diff-analytic") {
         // In --json mode stdout stays pure JSON; validation chatter goes
         // to stderr, and the exit code still reports divergence.
-        let quiet = digiq_bench::has_flag("--json");
+        let quiet = args.json;
         let all_exact = if quiet {
             report.jobs.iter().all(|r| r.diff().is_exact(NS_TOLERANCE))
         } else {

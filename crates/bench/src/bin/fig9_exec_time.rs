@@ -9,17 +9,17 @@
 //! benchmarks on the 32×32 grid (release build recommended); `--small`
 //! runs reduced instances on an 8×8 grid in seconds.
 
+use digiq_bench::cli::CommonArgs;
 use digiq_core::engine::{default_workers, BenchScale, BenchmarkSpec, EvalEngine, SweepSpec};
 use qcircuit::bench::ALL_BENCHMARKS;
 use sfq_hw::cost::CostModel;
 
 fn main() {
-    let small = digiq_bench::has_flag("--small");
-    let workers = digiq_bench::arg_value("--workers")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_workers);
+    let args = CommonArgs::parse(default_workers());
+    let (small, workers) = (args.small, args.workers);
     let (rows, cols) = if small { (8, 8) } else { (32, 32) };
-    let mut spec = SweepSpec::small_grid(SweepSpec::fig9_designs(), &ALL_BENCHMARKS, rows, cols);
+    let mut spec = SweepSpec::small_grid(SweepSpec::fig9_designs(), &ALL_BENCHMARKS, rows, cols)
+        .with_pipeline(args.pipeline);
     if !small {
         spec.benchmarks = ALL_BENCHMARKS
             .iter()
@@ -30,7 +30,8 @@ fn main() {
             .collect();
     }
 
-    let report = EvalEngine::new(CostModel::default()).run(&spec, workers);
+    let engine = EvalEngine::new(CostModel::default());
+    let report = engine.run(&spec, workers);
 
     println!(
         "Fig 9: execution time normalized to Impossible MIMD ({} qubits, {rows}x{cols} grid)",
@@ -57,5 +58,14 @@ fn main() {
         report.cache.total_misses(),
         report.cache.total_hits()
     );
+    // Stage-granular reuse: lowering/routing/scheduling are
+    // design-independent, so each benchmark's stages build once and the
+    // other four designs hit the per-pass caches.
+    for p in &engine.pass_cache_stats().passes {
+        println!(
+            "  pass {:12} {} built, {} reused across the design axis",
+            p.pass, p.misses, p.hits
+        );
+    }
     println!("paper: DigiQ_opt(BS=16) 4.7–9.8x; DigiQ_min(BS=4) 11.0–14.4x; outliers up to 36.9x");
 }

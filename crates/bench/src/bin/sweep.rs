@@ -15,14 +15,18 @@
 //!   and with `--workers` workers, verifies the two serialized reports
 //!   are byte-identical, and prints the speedup.
 //!
-//! Common flags: `--workers N` (default: all cores), `--seeds N` (drift
-//! seeds `0..N`), `--json` (print the report JSON instead of the table).
+//! Common flags (parsed by `digiq_bench::cli`): `--workers N` (default:
+//! all cores), `--seeds N` (drift seeds `0..N`), `--json` (print the
+//! report JSON — with per-pass pipeline metrics appended — instead of
+//! the table), and the pass-pipeline strategy selection
+//! `--router greedy|lookahead` / `--scheduler crosstalk|asap`.
 
+use digiq_bench::cli::CommonArgs;
 use digiq_core::design::ControllerDesign;
-use digiq_core::engine::{default_workers, EvalEngine, SweepReport, SweepSpec};
+use digiq_core::engine::{default_workers, EvalEngine, PassCacheStats, SweepReport, SweepSpec};
 use qcircuit::bench::{Benchmark, ALL_BENCHMARKS};
 use sfq_hw::cost::CostModel;
-use sfq_hw::json::ToJson;
+use sfq_hw::json::{Json, ToJson};
 use std::time::Instant;
 
 fn spec_for_mode(smoke: bool, full: bool, seeds: usize) -> SweepSpec {
@@ -95,20 +99,53 @@ fn print_table(report: &SweepReport) {
     );
 }
 
+fn print_pass_stats(stats: &PassCacheStats) {
+    println!("pipeline passes (per-stage cache + build metrics):");
+    println!(
+        "{:12} | {:>5} | {:>6} | {:>10} | {:>9} | {:>9} | {:>6} | {:>6}",
+        "pass", "built", "reused", "wall", "gates in", "gates out", "swaps", "slots"
+    );
+    for p in &stats.passes {
+        println!(
+            "{:12} | {:>5} | {:>6} | {:>10} | {:>9} | {:>9} | {:>6} | {:>6}",
+            p.pass,
+            p.misses,
+            p.hits,
+            digiq_bench::timing::fmt_ns(p.wall_ns),
+            p.gates_in,
+            p.gates_out,
+            p.swaps_added,
+            p.slots_out,
+        );
+    }
+}
+
+/// The report JSON with the pipeline configuration and per-pass
+/// accounting appended as extra top-level fields (`SweepReport::parse`
+/// ignores unknown fields, so the result still parses as a plain
+/// report). Recording the strategy selection keeps archived reports
+/// reproducible — two runs under different pipelines stay
+/// distinguishable.
+fn json_with_pass_stats(report: &SweepReport, spec: &SweepSpec, stats: &PassCacheStats) -> String {
+    let mut j = report.to_json();
+    if let Json::Obj(fields) = &mut j {
+        fields.push((
+            "pipeline".to_string(),
+            Json::obj([
+                ("router", spec.pipeline.router.name().to_json()),
+                ("scheduler", spec.pipeline.scheduler.name().to_json()),
+                ("fuse", spec.pipeline.fuse.to_json()),
+            ]),
+        ));
+        fields.push(("pass_cache".to_string(), stats.to_json()));
+    }
+    j.render()
+}
+
 fn main() {
-    let smoke = digiq_bench::has_flag("--smoke");
-    let full = digiq_bench::has_flag("--full");
-    let seeds: usize = digiq_bench::arg_value("--seeds")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1);
-    let workers: usize = if smoke {
-        2
-    } else {
-        digiq_bench::arg_value("--workers")
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(default_workers)
-    };
-    let spec = spec_for_mode(smoke, full, seeds);
+    let args = CommonArgs::parse(default_workers());
+    let (smoke, workers) = (args.smoke, args.workers);
+    let spec = spec_for_mode(smoke, args.full, args.seeds).with_pipeline(args.pipeline);
 
     if digiq_bench::has_flag("--compare-serial") {
         // The serial equivalent of the old hand-rolled loops: every job
@@ -156,10 +193,19 @@ fn main() {
         return;
     }
 
-    let report = EvalEngine::new(CostModel::default()).run(&spec, workers);
-    if smoke || digiq_bench::has_flag("--json") {
+    let engine = EvalEngine::new(CostModel::default());
+    let report = engine.run(&spec, workers);
+    if smoke {
+        // The CI golden check diffs this byte-for-byte: the plain report
+        // only, nothing appended.
         println!("{}", report.to_json_string());
+    } else if args.json {
+        println!(
+            "{}",
+            json_with_pass_stats(&report, &spec, &engine.pass_cache_stats())
+        );
     } else {
         print_table(&report);
+        print_pass_stats(&engine.pass_cache_stats());
     }
 }

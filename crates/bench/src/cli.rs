@@ -1,0 +1,157 @@
+//! Shared CLI parsing for the sweep-shaped bench binaries.
+//!
+//! Every engine-driven binary accepts the same flag family —
+//! `--small`/`--full`/`--smoke` mode selection, `--workers N`,
+//! `--seeds N`, `--json`, and the pass-pipeline strategy flags
+//! `--router greedy|lookahead` / `--scheduler crosstalk|asap` — and this
+//! module parses them once instead of thirteen copy-pasted variants.
+//!
+//! ```
+//! use digiq_bench::cli::CommonArgs;
+//!
+//! let args = CommonArgs::from_args(&["--small".into(), "--seeds".into(), "3".into()], 4)
+//!     .unwrap();
+//! assert!(args.small && !args.smoke);
+//! assert_eq!(args.seeds, 3);
+//! assert_eq!(args.workers, 4); // fallback when --workers is absent
+//! ```
+
+use qcircuit::pipeline::{PipelineConfig, RouteStrategy, ScheduleStrategy};
+
+/// The flag family shared by the sweep-shaped bench binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonArgs {
+    /// `--small`: reduced-scale run.
+    pub small: bool,
+    /// `--full`: paper-scale run.
+    pub full: bool,
+    /// `--smoke`: tiny golden-checked run (forces 2 workers).
+    pub smoke: bool,
+    /// `--json`: machine-readable report on stdout.
+    pub json: bool,
+    /// `--seeds N`: drift seeds `0..N` (default 1).
+    pub seeds: usize,
+    /// `--workers N`: worker threads (default: every core; `--smoke`
+    /// pins 2 so the golden is reproducible).
+    pub workers: usize,
+    /// `--router` / `--scheduler`: compile-pipeline strategy selection.
+    pub pipeline: PipelineConfig,
+}
+
+impl CommonArgs {
+    /// Parses the shared flags from an argument slice (`argv` without the
+    /// binary name). `default_workers` is used when `--workers` is absent
+    /// and the run is not a smoke run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending flag and the accepted
+    /// values.
+    pub fn from_args(args: &[String], default_workers: usize) -> Result<CommonArgs, String> {
+        let has = |name: &str| args.iter().any(|a| a == name);
+        let value = |name: &str| {
+            args.iter()
+                .position(|a| a == name)
+                .map(|i| {
+                    args.get(i + 1)
+                        .cloned()
+                        .ok_or_else(|| format!("`{name}` needs a value"))
+                })
+                .transpose()
+        };
+        let count = |name: &str| -> Result<Option<usize>, String> {
+            match value(name)? {
+                None => Ok(None),
+                Some(v) => v
+                    .parse::<usize>()
+                    .map(Some)
+                    .map_err(|_| format!("`{name}` needs a positive integer, got `{v}`")),
+            }
+        };
+
+        let smoke = has("--smoke");
+        let workers = match count("--workers")? {
+            _ if smoke => 2,
+            Some(n) if n > 0 => n,
+            Some(n) => return Err(format!("`--workers` must be at least 1, got {n}")),
+            None => default_workers,
+        };
+        let mut pipeline = PipelineConfig::default();
+        if let Some(router) = value("--router")? {
+            pipeline.router = RouteStrategy::parse(&router)?;
+        }
+        if let Some(scheduler) = value("--scheduler")? {
+            pipeline.scheduler = ScheduleStrategy::parse(&scheduler)?;
+        }
+        Ok(CommonArgs {
+            small: has("--small"),
+            full: has("--full"),
+            smoke,
+            json: has("--json"),
+            seeds: count("--seeds")?.unwrap_or(1).max(1),
+            workers,
+            pipeline,
+        })
+    }
+
+    /// Parses the process arguments, exiting with status 2 and a message
+    /// on stderr when a flag is malformed.
+    pub fn parse(default_workers: usize) -> CommonArgs {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        CommonArgs::from_args(&args, default_workers).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_are_the_paper_pipeline() {
+        let a = CommonArgs::from_args(&[], 8).unwrap();
+        assert!(!a.small && !a.full && !a.smoke && !a.json);
+        assert_eq!(a.seeds, 1);
+        assert_eq!(a.workers, 8);
+        assert_eq!(a.pipeline, PipelineConfig::default());
+    }
+
+    #[test]
+    fn smoke_pins_two_workers() {
+        let a = CommonArgs::from_args(&argv(&["--smoke", "--workers", "9"]), 8).unwrap();
+        assert!(a.smoke);
+        assert_eq!(a.workers, 2);
+    }
+
+    #[test]
+    fn strategies_parse_and_reject() {
+        let a = CommonArgs::from_args(&argv(&["--router", "lookahead", "--scheduler", "asap"]), 1)
+            .unwrap();
+        assert_eq!(a.pipeline.router.name(), "lookahead");
+        assert_eq!(a.pipeline.scheduler.name(), "asap");
+        assert!(CommonArgs::from_args(&argv(&["--router", "magic"]), 1).is_err());
+        assert!(CommonArgs::from_args(&argv(&["--scheduler", "magic"]), 1).is_err());
+        assert!(CommonArgs::from_args(&argv(&["--router"]), 1).is_err());
+    }
+
+    #[test]
+    fn counts_parse_and_reject() {
+        let a = CommonArgs::from_args(&argv(&["--seeds", "4", "--workers", "3"]), 1).unwrap();
+        assert_eq!((a.seeds, a.workers), (4, 3));
+        assert!(CommonArgs::from_args(&argv(&["--seeds", "x"]), 1).is_err());
+        assert!(CommonArgs::from_args(&argv(&["--workers", "0"]), 1).is_err());
+        // `--seeds 0` degrades to 1 like the historical parsers did.
+        assert_eq!(
+            CommonArgs::from_args(&argv(&["--seeds", "0"]), 1)
+                .unwrap()
+                .seeds,
+            1
+        );
+    }
+}

@@ -32,6 +32,7 @@
 //! `cargo bench -p digiq-bench --bench kernels` (add `-- --quick` for
 //! smoke mode).
 
+pub mod cli;
 pub mod timing;
 
 /// Parses a `--flag` style boolean from argv.

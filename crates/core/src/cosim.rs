@@ -22,7 +22,8 @@
 //! Both engines draw every per-gate decision (decomposition depth `K`,
 //! firing count `L`, delay class) from the shared
 //! [`crate::delay_model::DelayModel`], so a [`CosimReport`] produced from
-//! the same `CompiledCircuit` + [`ExecParams`] as an [`ExecReport`] is
+//! the same compiled artifact ([`qcircuit::pipeline::CompileArtifact`])
+//! + [`ExecParams`] as an [`ExecReport`] is
 //! *exactly* comparable: integer cycle counters (`oneq_cycles`,
 //! `serialization_cycles`, CZ segments, slots) must agree to the cycle,
 //! and `total_ns` to f64 rounding (the co-simulator sums exact integer

@@ -13,10 +13,22 @@
 //! * expensive shared artifacts are memoized in [`KeyedCache`]s so no
 //!   artifact is built twice across the sweep: synthesized
 //!   [`DesignHardware`] per (design, groups), generated benchmark
-//!   circuits per (benchmark, scale), lowered/routed/scheduled
-//!   [`CompiledCircuit`]s per (circuit, layout, grid) fingerprint
-//!   ([`Circuit::cache_key`] / `Layout::cache_key`), and sequence
-//!   databases / length distributions per [`MinBasisKind`].
+//!   circuits per (benchmark, scale), compiled [`CompileArtifact`]s at
+//!   **pipeline-stage granularity** — every pass of the shared
+//!   [`qcircuit::pipeline::Pipeline`] caches its output under a chained
+//!   stable stage key ([`Circuit::cache_key`] / `Layout::cache_key` /
+//!   pass fingerprints), so lowered and routed circuits are reused not
+//!   just across designs and seeds but across pipeline configurations
+//!   sharing a prefix (e.g. two schedulers over one routed circuit) —
+//!   and sequence databases / length distributions per [`MinBasisKind`].
+//!
+//! Per-pass cache accounting lives in [`PassCacheStats`]
+//! ([`EvalEngine::pass_cache_stats`]); like the co-simulation counters it
+//! is kept out of [`CacheStats`] so the serialized sweep report — and the
+//! `tests/golden/engine_smoke.json` golden — is byte-for-byte unchanged
+//! by the pipeline refactor ([`CacheStats::compile_hits`] /
+//! `compile_misses` now account the final pipeline stage, which is
+//! numerically identical to the old whole-compile accounting).
 //!
 //! Results are **deterministic regardless of worker count**: jobs are
 //! pure functions of the spec (per-job exec seeds are derived by hashing
@@ -55,13 +67,12 @@ use crate::system::{measured_min_lengths_with_db, BenchmarkReport, MinBasisKind}
 use calib::min_decomp::{SequenceDb, SharedSequenceDb};
 use qcircuit::bench::Benchmark;
 use qcircuit::ir::Circuit;
-use qcircuit::lower::lower_to_cz;
-use qcircuit::mapping::{route, Layout, RouterConfig};
-use qcircuit::schedule::{schedule_crosstalk_aware, Slot};
+use qcircuit::mapping::Layout;
+use qcircuit::pipeline::{CompileArtifact, PassMetrics, Pipeline, PipelineConfig};
 use qcircuit::topology::Grid;
 use sfq_hw::cost::CostModel;
 use sfq_hw::json::{Json, ToJson};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -240,6 +251,9 @@ pub struct SweepSpec {
     pub synthesize_hardware: bool,
     /// Salt mixed into every derived per-job seed.
     pub base_seed: u64,
+    /// Compile-pipeline strategy selection (routing / scheduling); the
+    /// default is the paper pipeline every golden file pins.
+    pub pipeline: PipelineConfig,
 }
 
 /// One enumerated job of a sweep (a single design × benchmark × seed
@@ -280,6 +294,7 @@ impl SweepSpec {
             grid_cols,
             synthesize_hardware: false,
             base_seed: 0xD161_5EED,
+            pipeline: PipelineConfig::default(),
         }
     }
 
@@ -335,6 +350,13 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the compile-pipeline strategy selection.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
     /// Total job count (the full cross product).
     pub fn job_count(&self) -> usize {
         self.designs.len() * self.benchmarks.len() * self.seeds.len()
@@ -358,22 +380,6 @@ impl SweepSpec {
         }
         jobs
     }
-}
-
-/// A fully compiled circuit artifact, shared by every design and seed
-/// evaluating the same (benchmark, grid, layout): lowering, routing and
-/// crosstalk scheduling are design-independent, so the engine builds this
-/// once per key.
-#[derive(Debug)]
-pub struct CompiledCircuit {
-    /// Logical gate count before routing.
-    pub logical_gates: usize,
-    /// SWAPs inserted by the router.
-    pub swaps: usize,
-    /// The routed, CZ-lowered physical circuit.
-    pub physical: Circuit,
-    /// Crosstalk-aware schedule slots.
-    pub slots: Vec<Slot>,
 }
 
 /// Deterministic seed derivation — the repo's pinned stable hash of
@@ -653,6 +659,126 @@ impl SweepReport {
     }
 }
 
+/// Per-pass build accounting accumulated on stage-cache misses (the only
+/// time a pass actually runs inside the engine).
+#[derive(Debug, Clone, Copy, Default)]
+struct PassBuildAgg {
+    wall_ns: f64,
+    gates_in: u64,
+    gates_out: u64,
+    swaps_added: u64,
+    slots_out: u64,
+}
+
+/// Cache accounting of one pipeline stage: the per-pass counters behind
+/// [`EvalEngine::pass_cache_stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassCacheStat {
+    /// Stage label (`lower`, `route`, `lower_swaps`, `schedule`, …).
+    pub pass: String,
+    /// Lookups that reused a cached stage artifact.
+    pub hits: u64,
+    /// Lookups that ran the pass.
+    pub misses: u64,
+    /// Total wall-clock spent running the pass (misses only), ns.
+    pub wall_ns: f64,
+    /// Total gates entering the pass across builds.
+    pub gates_in: u64,
+    /// Total gates leaving the pass across builds.
+    pub gates_out: u64,
+    /// Total SWAPs the pass inserted across builds.
+    pub swaps_added: u64,
+    /// Total slots the pass emitted across builds.
+    pub slots_out: u64,
+}
+
+impl ToJson for PassCacheStat {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("pass", self.pass.to_json()),
+            ("hits", self.hits.to_json()),
+            ("misses", self.misses.to_json()),
+            ("wall_ns", self.wall_ns.to_json()),
+            ("gates_in", self.gates_in.to_json()),
+            ("gates_out", self.gates_out.to_json()),
+            ("swaps_added", self.swaps_added.to_json()),
+            ("slots_out", self.slots_out.to_json()),
+        ])
+    }
+}
+
+impl PassCacheStat {
+    /// Reads a stat back from its [`ToJson`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "pass cache stat";
+        Ok(PassCacheStat {
+            pass: j.str_field("pass", CTX)?.to_string(),
+            hits: j.count_field("hits", CTX)?,
+            misses: j.count_field("misses", CTX)?,
+            wall_ns: j.num_field("wall_ns", CTX)?,
+            gates_in: j.count_field("gates_in", CTX)?,
+            gates_out: j.count_field("gates_out", CTX)?,
+            swaps_added: j.count_field("swaps_added", CTX)?,
+            slots_out: j.count_field("slots_out", CTX)?,
+        })
+    }
+}
+
+/// Per-pass cache accounting of an engine, label-sorted. Like
+/// [`EvalEngine::cosim_cache_stats`], this lives **outside**
+/// [`CacheStats`] so the serialized sweep report and its golden file are
+/// unchanged by stage-granular caching; hit/miss totals are
+/// deterministic for a fixed job set regardless of worker count
+/// (wall-clock totals are not).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PassCacheStats {
+    /// One entry per stage label that ran at least one lookup.
+    pub passes: Vec<PassCacheStat>,
+}
+
+impl PassCacheStats {
+    /// The entry for a stage label, if that stage ever ran.
+    pub fn get(&self, pass: &str) -> Option<&PassCacheStat> {
+        self.passes.iter().find(|p| p.pass == pass)
+    }
+
+    /// Reads the stats back from their [`ToJson`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let passes = match j.get("passes") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(PassCacheStat::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("pass cache stats missing array `passes`".to_string()),
+        };
+        Ok(PassCacheStats { passes })
+    }
+
+    /// Parses serialized stats (the inverse of [`ToJson::to_json_string`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON syntax error or the first structural mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        PassCacheStats::from_json(&j)
+    }
+}
+
+impl ToJson for PassCacheStats {
+    fn to_json(&self) -> Json {
+        Json::obj([("passes", self.passes.to_json())])
+    }
+}
+
 /// The batched evaluation engine: holds the cost model and every keyed
 /// artifact cache. Cheap to share behind `&self` — all methods are
 /// thread-safe — and long-lived engines keep their caches warm across
@@ -661,7 +787,17 @@ impl SweepReport {
 pub struct EvalEngine {
     model: CostModel,
     circuits: KeyedCache<(Benchmark, BenchScale, u64), Circuit>,
-    compiled: KeyedCache<CompileKey, CompiledCircuit>,
+    /// One stage cache per pipeline pass label; keys are the chained
+    /// stable stage keys of [`Pipeline::stage_keys`], so artifacts are
+    /// shared across designs, seeds, and pipeline configurations with a
+    /// common prefix.
+    stages: Mutex<BTreeMap<String, Arc<KeyedCache<u64, CompileArtifact>>>>,
+    /// Final-stage accounting — the [`CacheStats::compile_hits`] /
+    /// `compile_misses` the sweep report serializes (numerically
+    /// identical to the old whole-compile cache).
+    compile_hits: AtomicU64,
+    compile_misses: AtomicU64,
+    pass_builds: Mutex<BTreeMap<String, PassBuildAgg>>,
     hardware: KeyedCache<(ControllerDesign, usize), DesignHardware>,
     seq_dbs: KeyedCache<MinBasisKind, SequenceDb>,
     min_lengths: KeyedCache<MinBasisKind, Vec<usize>>,
@@ -680,22 +816,23 @@ type CosimKey = (CompileKey, ControllerDesign, usize, u64);
 struct JobContext {
     key: CompileKey,
     circuit: Arc<Circuit>,
-    compiled: Arc<CompiledCircuit>,
+    compiled: Arc<CompileArtifact>,
     params: ExecParams,
     groups: Vec<usize>,
 }
 
 /// Cache key of a compiled artifact: (circuit fingerprint, layout
-/// fingerprint, grid rows, grid cols).
-type CompileKey = (u64, u64, usize, usize);
+/// fingerprint, grid rows, grid cols, pipeline fingerprint).
+type CompileKey = (u64, u64, usize, usize, u64);
 
-fn compile_key(circuit: &Circuit, grid: &Grid) -> CompileKey {
+fn compile_key(circuit: &Circuit, grid: &Grid, pipeline: &PipelineConfig) -> CompileKey {
     let layout = Layout::snake(circuit.n_qubits(), grid);
     (
         circuit.cache_key(),
         layout.cache_key(),
         grid.rows(),
         grid.cols(),
+        pipeline.fingerprint(),
     )
 }
 
@@ -718,27 +855,94 @@ impl EvalEngine {
             })
     }
 
-    /// The lowered, routed, crosstalk-scheduled artifact of `circuit` on
-    /// `grid` with a snake initial layout, compiled at most once per
-    /// (circuit, layout, grid) fingerprint.
+    /// The stage cache for a pipeline pass label.
+    fn stage_cache(&self, label: &str) -> Arc<KeyedCache<u64, CompileArtifact>> {
+        let mut map = self.stages.lock().unwrap();
+        match map.get(label) {
+            Some(cache) => Arc::clone(cache),
+            None => {
+                let cache = Arc::new(KeyedCache::new());
+                map.insert(label.to_string(), Arc::clone(&cache));
+                cache
+            }
+        }
+    }
+
+    /// Folds one pass build's metrics into the per-pass accounting.
+    fn record_pass_build(&self, m: &PassMetrics) {
+        let mut map = self.pass_builds.lock().unwrap();
+        let agg = map.entry(m.pass.clone()).or_default();
+        agg.wall_ns += m.wall_ns;
+        agg.gates_in += m.gates_before as u64;
+        agg.gates_out += m.gates_after as u64;
+        agg.swaps_added += m.swap_delta() as u64;
+        agg.slots_out += m.slots_after.unwrap_or(0) as u64;
+    }
+
+    /// The fully compiled artifact of `circuit` on `grid` under the
+    /// **default** pipeline (snake initial layout) — see
+    /// [`EvalEngine::compiled_with`].
     ///
     /// # Panics
     ///
     /// Panics if the circuit needs more qubits than the grid has.
-    pub fn compiled(&self, circuit: &Circuit, grid: &Grid) -> Arc<CompiledCircuit> {
-        self.compiled.get_or_build(compile_key(circuit, grid), || {
-            let layout = Layout::snake(circuit.n_qubits(), grid);
-            let lowered = lower_to_cz(circuit);
-            let routed = route(&lowered, grid, layout, &RouterConfig::default());
-            let physical = lower_to_cz(&routed.circuit);
-            let slots = schedule_crosstalk_aware(&physical, grid);
-            CompiledCircuit {
-                logical_gates: circuit.len(),
-                swaps: routed.swap_count,
-                physical,
-                slots,
+    pub fn compiled(&self, circuit: &Circuit, grid: &Grid) -> Arc<CompileArtifact> {
+        self.compiled_with(circuit, grid, &PipelineConfig::default())
+    }
+
+    /// Compiles `circuit` on `grid` (snake initial layout) through the
+    /// shared [`Pipeline::standard`] for `cfg`, memoizing **every stage**
+    /// under its chained stable key: each pass runs at most once per
+    /// distinct (input, pass-prefix) fingerprint, and pipelines sharing a
+    /// prefix (all designs and seeds of a sweep; different schedulers
+    /// over one routed circuit) share the cached prefix artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit needs more qubits than the grid has, or if a
+    /// pass or its post-validation fails (a configuration bug — every
+    /// schedule is checked by its strategy's validator on build).
+    pub fn compiled_with(
+        &self,
+        circuit: &Circuit,
+        grid: &Grid,
+        cfg: &PipelineConfig,
+    ) -> Arc<CompileArtifact> {
+        let pipeline = Pipeline::standard(cfg);
+        let layout = Layout::snake(circuit.n_qubits(), grid);
+        let input_key = CompileArtifact::input_key(circuit, &layout, grid);
+        let keys = pipeline.stage_keys(input_key);
+
+        let mut artifact: Option<Arc<CompileArtifact>> = None;
+        let mut final_built = false;
+        for (stage, &key) in pipeline.stages().iter().zip(&keys) {
+            let cache = self.stage_cache(stage.label());
+            let prev = artifact.clone();
+            let mut built = None;
+            artifact = Some(cache.get_or_build(key, || {
+                let mut next = match &prev {
+                    Some(a) => (**a).clone(),
+                    None => CompileArtifact::new(circuit.clone(), layout.clone()),
+                };
+                let metrics = stage
+                    .run_timed(&mut next, grid)
+                    .unwrap_or_else(|e| panic!("compile pipeline: {e}"));
+                built = Some(metrics);
+                next
+            }));
+            if let Some(metrics) = built {
+                self.record_pass_build(&metrics);
+                final_built = true;
+            } else {
+                final_built = false;
             }
-        })
+        }
+        if final_built {
+            self.compile_misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.compile_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        artifact.expect("standard pipelines have at least one stage")
     }
 
     /// The synthesized hardware of a design point (paper-default system
@@ -783,8 +987,8 @@ impl EvalEngine {
         CacheStats {
             circuit_hits: self.circuits.hits(),
             circuit_misses: self.circuits.misses(),
-            compile_hits: self.compiled.hits(),
-            compile_misses: self.compiled.misses(),
+            compile_hits: self.compile_hits.load(Ordering::Relaxed),
+            compile_misses: self.compile_misses.load(Ordering::Relaxed),
             hardware_hits: self.hardware.hits(),
             hardware_misses: self.hardware.misses(),
             seq_db_hits: self.seq_dbs.hits(),
@@ -796,13 +1000,38 @@ impl EvalEngine {
         }
     }
 
+    /// Per-pass cache accounting across every pipeline stage this engine
+    /// has run, label-sorted. Hit/miss totals are deterministic for a
+    /// fixed job set regardless of worker count.
+    pub fn pass_cache_stats(&self) -> PassCacheStats {
+        let caches = self.stages.lock().unwrap();
+        let builds = self.pass_builds.lock().unwrap();
+        let passes = caches
+            .iter()
+            .map(|(label, cache)| {
+                let agg = builds.get(label).copied().unwrap_or_default();
+                PassCacheStat {
+                    pass: label.clone(),
+                    hits: cache.hits(),
+                    misses: cache.misses(),
+                    wall_ns: agg.wall_ns,
+                    gates_in: agg.gates_in,
+                    gates_out: agg.gates_out,
+                    swaps_added: agg.swaps_added,
+                    slots_out: agg.slots_out,
+                }
+            })
+            .collect();
+        PassCacheStats { passes }
+    }
+
     /// Assembles the shared per-job artifacts — identical for the
     /// analytic and co-simulation modes.
     fn job_context(&self, spec: &SweepSpec, job: &JobSpec) -> JobContext {
         let grid = Grid::new(spec.grid_rows, spec.grid_cols);
         let circuit = self.benchmark_circuit(job.bench, spec.base_seed);
-        let compiled = self.compiled(&circuit, &grid);
-        let key = compile_key(&circuit, &grid);
+        let compiled = self.compiled_with(&circuit, &grid, &spec.pipeline);
+        let key = compile_key(&circuit, &grid, &spec.pipeline);
 
         let mut config = SystemConfig::paper_default(job.point.design, job.point.groups);
         config.n_qubits = grid.n_qubits();
@@ -833,7 +1062,7 @@ impl EvalEngine {
             params,
             groups,
         } = self.job_context(spec, job);
-        let exec = execute(&compiled.physical, &compiled.slots, &groups, &params);
+        let exec = execute(&compiled.circuit, compiled.scheduled(), &groups, &params);
         // The Impossible MIMD normalization baseline ignores the seed,
         // the group map and the decomposition distribution, so it is a
         // pure function of the compiled artifact — memoize it per
@@ -841,7 +1070,7 @@ impl EvalEngine {
         let base_exec = self.baselines.get_or_build(key, || {
             let mut base = params.clone();
             base.config.design = ControllerDesign::ImpossibleMimd;
-            execute(&compiled.physical, &compiled.slots, &groups, &base)
+            execute(&compiled.circuit, compiled.scheduled(), &groups, &base)
         });
 
         let power_w = if spec.synthesize_hardware {
@@ -862,7 +1091,7 @@ impl EvalEngine {
                 benchmark: job.bench.bench.name().to_string(),
                 logical_gates: compiled.logical_gates,
                 swaps: compiled.swaps,
-                slots: compiled.slots.len(),
+                slots: compiled.scheduled().len(),
                 normalized_time: exec.total_ns / base_exec.total_ns.max(f64::MIN_POSITIVE),
                 exec,
             },
@@ -901,14 +1130,14 @@ impl EvalEngine {
             (key, job.point.design, job.point.groups, params.seed),
             || {
                 cosim::simulate(
-                    &compiled.physical,
-                    &compiled.slots,
+                    &compiled.circuit,
+                    compiled.scheduled(),
                     &groups,
                     &CosimParams::new(params.clone()),
                 )
             },
         );
-        let analytic = execute(&compiled.physical, &compiled.slots, &groups, &params);
+        let analytic = execute(&compiled.circuit, compiled.scheduled(), &groups, &params);
         CosimRecord {
             design: job.point.design,
             groups: job.point.groups,

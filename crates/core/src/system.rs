@@ -13,9 +13,8 @@ use crate::hardware::{build_hardware, DesignHardware};
 use calib::min_decomp::{decompose_min, MinBasis, SequenceDb};
 use qcircuit::bench::Benchmark;
 use qcircuit::ir::Circuit;
-use qcircuit::lower::lower_to_cz;
-use qcircuit::mapping::{route, Layout, RouterConfig};
-use qcircuit::schedule::schedule_crosstalk_aware;
+use qcircuit::mapping::Layout;
+use qcircuit::pipeline::{CompileArtifact, PassMetrics, Pipeline, PipelineConfig};
 use qcircuit::topology::Grid;
 use sfq_hw::cost::CostModel;
 use sfq_hw::json::{Json, ToJson};
@@ -29,6 +28,9 @@ pub struct DigiqSystem {
     pub grid: Grid,
     /// Synthesized hardware (absent for the Impossible MIMD reference).
     pub hardware: Option<DesignHardware>,
+    /// The shared compile pass pipeline (same [`Pipeline::standard`] the
+    /// evaluation engine runs — the two can never drift).
+    pipeline: Pipeline,
     exec_params: ExecParams,
 }
 
@@ -83,10 +85,21 @@ impl BenchmarkReport {
 }
 
 impl DigiqSystem {
-    /// Builds a system at a design point, deriving the DigiQ_min
-    /// decomposition-length distribution from real `calib` sequence
-    /// searches on the ideal basis set.
+    /// Builds a system at a design point with the default compile
+    /// pipeline, deriving the DigiQ_min decomposition-length distribution
+    /// from real `calib` sequence searches on the ideal basis set.
     pub fn build(design: ControllerDesign, groups: usize, model: &CostModel) -> Self {
+        DigiqSystem::build_with(design, groups, model, PipelineConfig::default())
+    }
+
+    /// [`DigiqSystem::build`] with an explicit compile-pipeline strategy
+    /// selection (routing / scheduling / fusion).
+    pub fn build_with(
+        design: ControllerDesign,
+        groups: usize,
+        model: &CostModel,
+        pipeline: PipelineConfig,
+    ) -> Self {
         let config = SystemConfig::paper_default(design, groups);
         let grid = Grid::paper_grid();
         let hardware = if design == ControllerDesign::ImpossibleMimd {
@@ -105,47 +118,58 @@ impl DigiqSystem {
             config,
             grid,
             hardware,
+            pipeline: Pipeline::standard(&pipeline),
             exec_params,
         }
     }
 
-    /// The §VI-B compile pipeline both evaluation modes share: lower →
-    /// route (snake) → lower SWAPs → crosstalk-aware schedule, plus the
-    /// checkerboard group map. Returns `(physical, slots, groups, swaps)`.
-    fn compile(
-        &self,
-        circuit: &Circuit,
-    ) -> (Circuit, Vec<qcircuit::schedule::Slot>, Vec<usize>, usize) {
-        let lowered = lower_to_cz(circuit);
-        let routed = route(
-            &lowered,
-            &self.grid,
+    /// The compile pass pipeline this system runs.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+
+    /// The §VI-B compile pipeline both evaluation modes share — the
+    /// system's [`Pipeline`] (default: lower → route (snake) → lower
+    /// SWAPs → crosstalk-aware schedule, post-validated per pass), plus
+    /// the checkerboard group map. Returns the final artifact, its
+    /// per-pass metrics, and the group map.
+    fn compile(&self, circuit: &Circuit) -> (CompileArtifact, Vec<PassMetrics>, Vec<usize>) {
+        let artifact = CompileArtifact::new(
+            circuit.clone(),
             Layout::snake(circuit.n_qubits(), &self.grid),
-            &RouterConfig::default(),
         );
-        let physical = lower_to_cz(&routed.circuit);
-        let slots = schedule_crosstalk_aware(&physical, &self.grid);
+        let (artifact, metrics) = self
+            .pipeline
+            .run(artifact, &self.grid)
+            .unwrap_or_else(|e| panic!("compile pipeline: {e}"));
         let groups = checkerboard_groups(
             self.grid.cols(),
             self.grid.n_qubits(),
             self.config.groups.min(2).max(1),
         );
-        (physical, slots, groups, routed.swap_count)
+        (artifact, metrics, groups)
+    }
+
+    /// Compiles a circuit through the pass pipeline and returns the
+    /// per-pass [`PassMetrics`] (wall time, gate/SWAP/slot deltas).
+    pub fn compile_metrics(&self, circuit: &Circuit) -> Vec<PassMetrics> {
+        self.compile(circuit).1
     }
 
     /// Compiles and executes a circuit through the full pipeline.
     pub fn evaluate_circuit(&self, name: &str, circuit: &Circuit) -> BenchmarkReport {
-        let (physical, slots, groups, swaps) = self.compile(circuit);
-        let exec = execute(&physical, &slots, &groups, &self.exec_params);
+        let (compiled, _, groups) = self.compile(circuit);
+        let slots = compiled.scheduled();
+        let exec = execute(&compiled.circuit, slots, &groups, &self.exec_params);
 
         let mut base = self.exec_params.clone();
         base.config.design = ControllerDesign::ImpossibleMimd;
-        let base_exec = execute(&physical, &slots, &groups, &base);
+        let base_exec = execute(&compiled.circuit, slots, &groups, &base);
 
         BenchmarkReport {
             benchmark: name.to_string(),
-            logical_gates: circuit.len(),
-            swaps,
+            logical_gates: compiled.logical_gates,
+            swaps: compiled.swaps,
             slots: slots.len(),
             normalized_time: exec.total_ns / base_exec.total_ns.max(f64::MIN_POSITIVE),
             exec,
@@ -165,10 +189,10 @@ impl DigiqSystem {
     /// so the returned report is exactly comparable to the analytic one
     /// (see [`crate::cosim::diff_analytic`]).
     pub fn cosimulate_circuit(&self, circuit: &Circuit, trace: bool) -> crate::cosim::CosimReport {
-        let (physical, slots, groups, _swaps) = self.compile(circuit);
+        let (compiled, _, groups) = self.compile(circuit);
         let mut params = crate::cosim::CosimParams::new(self.exec_params.clone());
         params.trace = trace;
-        crate::cosim::simulate(&physical, &slots, &groups, &params)
+        crate::cosim::simulate(&compiled.circuit, compiled.scheduled(), &groups, &params)
     }
 }
 

@@ -1,0 +1,243 @@
+//! Stage-granular compile caching and strategy plumbing through the
+//! evaluation engine: per-pass hit/miss accounting (the Fig 9 matrix
+//! reuses design-independent stages), prefix sharing across pipeline
+//! configurations, worker-count determinism of the per-pass counters,
+//! serialization round-trips, and end-to-end validity of the alternative
+//! routing/scheduling strategies in both evaluation modes.
+
+use digiq_core::design::ControllerDesign;
+use digiq_core::engine::{EvalEngine, PassCacheStats, SweepSpec};
+use qcircuit::bench::Benchmark;
+use qcircuit::pipeline::{PipelineConfig, RouteStrategy, ScheduleStrategy};
+use sfq_hw::cost::CostModel;
+use sfq_hw::json::{Json, ToJson};
+
+fn fig9_style_spec() -> SweepSpec {
+    SweepSpec::small_grid(
+        SweepSpec::fig9_designs(),
+        &[Benchmark::Bv, Benchmark::Qgan, Benchmark::Ising],
+        6,
+        6,
+    )
+}
+
+/// The acceptance contract of the refactor: across a Fig 9-style design
+/// matrix, the design-independent stages (lowered/routed circuits) build
+/// once per benchmark and every other design hits the per-pass caches.
+#[test]
+fn fig9_matrix_reuses_design_independent_stages() {
+    let engine = EvalEngine::new(CostModel::default());
+    let spec = fig9_style_spec();
+    let report = engine.run(&spec, 2);
+    assert_eq!(report.jobs.len(), 5 * 3);
+
+    let stats = engine.pass_cache_stats();
+    assert_eq!(
+        stats
+            .passes
+            .iter()
+            .map(|p| p.pass.as_str())
+            .collect::<Vec<_>>(),
+        ["lower", "lower_swaps", "route", "schedule"],
+        "label-sorted stage accounting"
+    );
+    for p in &stats.passes {
+        assert_eq!(p.misses, 3, "one build per benchmark for `{}`", p.pass);
+        assert_eq!(p.hits, 12, "four designs reuse each stage of `{}`", p.pass);
+    }
+    // Final-stage accounting is what the report serializes.
+    assert_eq!(report.cache.compile_misses, 3);
+    assert_eq!(report.cache.compile_hits, 12);
+    // Routing produced SWAPs and scheduling produced slots, visible in
+    // the aggregated build metrics.
+    assert!(stats.get("route").unwrap().swaps_added > 0);
+    assert!(stats.get("schedule").unwrap().slots_out > 0);
+    assert!(stats.get("lower").unwrap().gates_out >= stats.get("lower").unwrap().gates_in);
+}
+
+/// Pipelines differing only in the scheduler share every prefix stage:
+/// re-running the same sweep under ASAP adds zero lower/route builds.
+#[test]
+fn scheduler_change_shares_lower_and_route_stages() {
+    let engine = EvalEngine::new(CostModel::default());
+    let spec = SweepSpec::small_grid(
+        vec![ControllerDesign::DigiqOpt { bs: 8 }.into()],
+        &[Benchmark::Bv, Benchmark::Ising],
+        4,
+        4,
+    );
+    engine.run(&spec, 1);
+    let before = engine.pass_cache_stats();
+
+    let asap = spec
+        .clone()
+        .with_pipeline(PipelineConfig::default().with_scheduler(ScheduleStrategy::Asap));
+    engine.run(&asap, 1);
+    let after = engine.pass_cache_stats();
+
+    for pass in ["lower", "route", "lower_swaps"] {
+        assert_eq!(
+            after.get(pass).unwrap().misses,
+            before.get(pass).unwrap().misses,
+            "`{pass}` must not rebuild under a different scheduler"
+        );
+        assert!(after.get(pass).unwrap().hits > before.get(pass).unwrap().hits);
+    }
+    // The scheduler itself re-runs once per benchmark.
+    assert_eq!(
+        after.get("schedule").unwrap().misses,
+        before.get("schedule").unwrap().misses + 2
+    );
+
+    // A router change, by contrast, only shares the first lowering.
+    let lookahead = spec.with_pipeline(
+        PipelineConfig::default().with_router(RouteStrategy::Lookahead { window: 16 }),
+    );
+    engine.run(&lookahead, 1);
+    let third = engine.pass_cache_stats();
+    assert_eq!(
+        third.get("lower").unwrap().misses,
+        after.get("lower").unwrap().misses
+    );
+    assert_eq!(
+        third.get("route").unwrap().misses,
+        after.get("route").unwrap().misses + 2
+    );
+}
+
+/// Per-pass hit/miss totals are part of the determinism contract: any
+/// worker count produces the same accounting on a fresh engine.
+#[test]
+fn pass_counters_are_worker_count_invariant() {
+    let spec = fig9_style_spec();
+    let counts = |workers: usize| {
+        let engine = EvalEngine::new(CostModel::default());
+        let report = engine.run(&spec, workers);
+        let stats = engine.pass_cache_stats();
+        (
+            report.to_json_string(),
+            stats
+                .passes
+                .iter()
+                .map(|p| (p.pass.clone(), p.hits, p.misses))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let (report1, stats1) = counts(1);
+    for workers in [2, 5] {
+        let (report_n, stats_n) = counts(workers);
+        assert_eq!(report1, report_n, "report must not depend on workers");
+        assert_eq!(stats1, stats_n, "pass counters must not depend on workers");
+    }
+}
+
+#[test]
+fn pass_cache_stats_roundtrip_through_json() {
+    let engine = EvalEngine::new(CostModel::default());
+    engine.run(&fig9_style_spec(), 2);
+    let stats = engine.pass_cache_stats();
+    assert!(!stats.passes.is_empty());
+    let parsed = PassCacheStats::parse(&stats.to_json_string()).unwrap();
+    assert_eq!(parsed, stats);
+    assert!(PassCacheStats::parse("{}").is_err());
+    assert!(PassCacheStats::parse("{\"passes\":[{}]}").is_err());
+}
+
+/// `sweep --json` appends the per-pass accounting as an extra top-level
+/// field; the plain report reader must keep parsing such documents.
+#[test]
+fn sweep_report_parse_ignores_appended_pass_stats() {
+    use digiq_core::engine::SweepReport;
+    let engine = EvalEngine::new(CostModel::default());
+    let spec = SweepSpec::small_grid(
+        vec![ControllerDesign::DigiqOpt { bs: 8 }.into()],
+        &[Benchmark::Bv],
+        4,
+        4,
+    );
+    let report = engine.run(&spec, 1);
+    let mut j = report.to_json();
+    if let Json::Obj(fields) = &mut j {
+        fields.push((
+            "pass_cache".to_string(),
+            engine.pass_cache_stats().to_json(),
+        ));
+    } else {
+        panic!("sweep reports serialize as objects");
+    }
+    assert_eq!(SweepReport::parse(&j.render()), Ok(report));
+}
+
+/// Both alternative strategies produce valid, executable schedules end to
+/// end, and the analytic ↔ cycle-accurate lockstep holds for every
+/// pipeline configuration (the two engines consume the identical compiled
+/// artifact).
+#[test]
+fn alternative_strategies_evaluate_and_cosimulate_exactly() {
+    for cfg in [
+        PipelineConfig::default().with_scheduler(ScheduleStrategy::Asap),
+        PipelineConfig::default().with_router(RouteStrategy::Lookahead { window: 16 }),
+        PipelineConfig::default()
+            .with_router(RouteStrategy::Lookahead { window: 4 })
+            .with_scheduler(ScheduleStrategy::Asap),
+    ] {
+        let engine = EvalEngine::new(CostModel::default());
+        let spec = SweepSpec::small_grid(
+            vec![
+                ControllerDesign::ImpossibleMimd.into(),
+                ControllerDesign::DigiqOpt { bs: 8 }.into(),
+            ],
+            &[Benchmark::Bv, Benchmark::Ising],
+            4,
+            4,
+        )
+        .with_pipeline(cfg);
+
+        let report = engine.run(&spec, 2);
+        for job in &report.jobs {
+            assert!(job.report.normalized_time >= 1.0, "{cfg:?}");
+            assert!(job.report.exec.total_ns > 0.0);
+        }
+
+        let cosim = engine.run_cosim(&spec, 2);
+        assert!(cosim.all_exact(1e-9), "{cfg:?}: {:?}", cosim.worst_diff());
+    }
+}
+
+/// The ASAP scheduler genuinely changes the workload shape: fewer slots
+/// than the crosstalk-aware schedule on an interference-heavy benchmark.
+#[test]
+fn asap_schedules_fewer_slots_than_crosstalk_aware() {
+    let spec = SweepSpec::small_grid(
+        vec![ControllerDesign::DigiqOpt { bs: 8 }.into()],
+        &[Benchmark::Ising],
+        4,
+        4,
+    );
+    let aware = EvalEngine::new(CostModel::default()).run(&spec, 1);
+    let asap = EvalEngine::new(CostModel::default()).run(
+        &spec.with_pipeline(PipelineConfig::default().with_scheduler(ScheduleStrategy::Asap)),
+        1,
+    );
+    assert!(
+        asap.jobs[0].report.slots < aware.jobs[0].report.slots,
+        "asap {} vs aware {}",
+        asap.jobs[0].report.slots,
+        aware.jobs[0].report.slots
+    );
+}
+
+/// A warm engine re-running the same spec rebuilds nothing at any stage.
+#[test]
+fn warm_engine_has_zero_stage_misses_on_rerun() {
+    let engine = EvalEngine::new(CostModel::default());
+    let spec = fig9_style_spec();
+    engine.run(&spec, 2);
+    let before = engine.pass_cache_stats();
+    engine.run(&spec, 3);
+    let after = engine.pass_cache_stats();
+    for (b, a) in before.passes.iter().zip(&after.passes) {
+        assert_eq!(a.misses, b.misses, "warm `{}` must not rebuild", a.pass);
+        assert!(a.hits > b.hits);
+    }
+}

@@ -8,9 +8,12 @@
 //! 2. [`lower`] — decomposition into the {1q, CZ} hardware set;
 //! 3. [`topology`] / [`mapping`] — the 32×32 grid and stochastic SWAP
 //!    routing;
-//! 4. [`schedule`] — crosstalk-aware grouping of commuting CZs and
-//!    noise-adaptive layout;
-//! 5. [`ir`] — the gate/circuit types plus a statevector simulator used
+//! 4. [`schedule`] — crosstalk-aware (and plain ASAP) grouping of
+//!    commuting CZs and noise-adaptive layout;
+//! 5. [`pipeline`] — the unified compiler pass pipeline: the above as
+//!    named, fingerprinted, individually cacheable [`pipeline::Pass`]es
+//!    with per-pass metrics and pluggable routing/scheduling strategies;
+//! 6. [`ir`] — the gate/circuit types plus a statevector simulator used
 //!    as the correctness oracle for everything above.
 //!
 //! ## Quickstart
@@ -34,8 +37,10 @@ pub mod bench;
 pub mod ir;
 pub mod lower;
 pub mod mapping;
+pub mod pipeline;
 pub mod schedule;
 pub mod topology;
 
 pub use ir::{Circuit, Gate, OneQ};
+pub use pipeline::{Pipeline, PipelineConfig};
 pub use topology::Grid;

@@ -219,6 +219,108 @@ pub fn route(c: &Circuit, grid: &Grid, initial: Layout, cfg: &RouterConfig) -> R
     best.expect("at least one trial")
 }
 
+/// The deterministic lookahead-window router: the alternative
+/// [`RouteStrategy`](crate::pipeline::RouteStrategy) of the pass
+/// pipeline.
+///
+/// Like [`route`] it inserts strictly distance-reducing SWAPs among the
+/// neighbours of the current CZ's endpoints (so termination is
+/// guaranteed), but the candidate score is dominated by the next `window`
+/// pending two-qubit gates (harmonically decayed) instead of the current
+/// gate's residual distance, there is no random tie-breaking and no
+/// multi-trial search — one fully deterministic attempt.
+///
+/// # Panics
+///
+/// Panics if the circuit contains un-lowered `CX`/`CCX`/`SWAP` gates, or
+/// needs more qubits than the grid provides.
+pub fn route_lookahead(
+    c: &Circuit,
+    grid: &Grid,
+    mut layout: Layout,
+    window: usize,
+) -> RoutedCircuit {
+    crate::lower::assert_lowered(c, "route");
+    assert!(c.n_qubits() <= grid.n_qubits());
+    let mut out = Circuit::new(grid.n_qubits());
+    let mut swap_count = 0usize;
+
+    let upcoming: Vec<(usize, usize)> = c
+        .gates()
+        .iter()
+        .filter_map(|g| match *g {
+            Gate::Cz { a, b } => Some((a, b)),
+            _ => None,
+        })
+        .collect();
+    let mut next_2q = 0usize;
+
+    for g in c.gates() {
+        match *g {
+            Gate::OneQ { q, kind } => out.push(Gate::OneQ {
+                q: layout.phys(q),
+                kind,
+            }),
+            Gate::Cz { a, b } => {
+                loop {
+                    let (pa, pb) = (layout.phys(a), layout.phys(b));
+                    let d = grid.distance(pa, pb);
+                    if d == 1 {
+                        break;
+                    }
+                    // Best candidate under the window score; ties break on
+                    // the (endpoint, neighbour) pair for full determinism.
+                    let mut best: Option<(usize, usize, f64)> = None;
+                    for &(end, other) in &[(pa, pb), (pb, pa)] {
+                        for n in grid.neighbors(end) {
+                            let d_after = grid.distance(n, other);
+                            if d_after >= d {
+                                continue;
+                            }
+                            let mut trial = layout.clone();
+                            trial.swap_physical(end, n);
+                            // Window cost: the current gate counts as the
+                            // window's head, pending gates decay harmonically.
+                            let mut score = d_after as f64;
+                            for k in 0..window {
+                                let idx = next_2q + 1 + k;
+                                if idx >= upcoming.len() {
+                                    break;
+                                }
+                                let (x, y) = upcoming[idx];
+                                score += grid.distance(trial.phys(x), trial.phys(y)) as f64
+                                    / (k + 2) as f64;
+                            }
+                            let better = match best {
+                                None => true,
+                                Some((be, bn, bs)) => {
+                                    score < bs || (score == bs && (end, n) < (be, bn))
+                                }
+                            };
+                            if better {
+                                best = Some((end, n, score));
+                            }
+                        }
+                    }
+                    let (x, y, _) = best.expect("a distance-reducing swap always exists on a grid");
+                    out.swap(x, y);
+                    layout.swap_physical(x, y);
+                    swap_count += 1;
+                }
+                out.cz(layout.phys(a), layout.phys(b));
+                next_2q += 1;
+            }
+            _ => panic!("route requires a lowered circuit (1q + CZ only)"),
+        }
+    }
+
+    RoutedCircuit {
+        circuit: out,
+        final_layout: layout,
+        swap_count,
+    }
+}
+
 fn route_once(
     c: &Circuit,
     grid: &Grid,

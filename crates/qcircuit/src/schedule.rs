@@ -95,9 +95,37 @@ pub fn schedule_crosstalk_aware(c: &Circuit, grid: &Grid) -> Vec<Slot> {
     slots
 }
 
+/// Schedules a lowered circuit into plain ASAP dependency moments,
+/// **ignoring crosstalk**: gates within a slot act on disjoint qubits and
+/// per-qubit program order is preserved, but CZs in one slot may
+/// interfere. This is the crosstalk-oblivious alternative strategy of the
+/// pass pipeline — the full [`validate_schedule`] rejects its output on
+/// interfering workloads (see the strategy-discrimination tests), which
+/// is exactly the point of having both.
+///
+/// # Panics
+///
+/// Panics if the circuit contains gates other than 1q and CZ.
+pub fn schedule_asap(c: &Circuit) -> Vec<Slot> {
+    crate::lower::assert_lowered(c, "scheduler");
+    c.moments()
+}
+
 /// Validates a schedule: every gate exactly once, disjoint qubits within a
 /// slot, per-qubit program order preserved, CZs non-interfering.
 pub fn validate_schedule(c: &Circuit, grid: &Grid, slots: &[Slot]) -> Result<(), String> {
+    validate_schedule_impl(c, Some(grid), slots)
+}
+
+/// The structural subset of [`validate_schedule`]: every gate exactly
+/// once, disjoint qubits within a slot, per-qubit program order preserved
+/// — **without** the CZ-interference check. The post-validation contract
+/// of deliberately crosstalk-oblivious schedulers.
+pub fn validate_schedule_structural(c: &Circuit, slots: &[Slot]) -> Result<(), String> {
+    validate_schedule_impl(c, None, slots)
+}
+
+fn validate_schedule_impl(c: &Circuit, grid: Option<&Grid>, slots: &[Slot]) -> Result<(), String> {
     let mut seen = vec![false; c.len()];
     let mut last_slot_of_qubit = vec![None::<usize>; c.n_qubits()];
     let mut order_of_gate = vec![usize::MAX; c.len()];
@@ -116,7 +144,8 @@ pub fn validate_schedule(c: &Circuit, grid: &Grid, slots: &[Slot]) -> Result<(),
                 last_slot_of_qubit[q] = Some(si);
             }
         }
-        // CZ interference check.
+        // CZ interference check (skipped by the structural validator).
+        let Some(grid) = grid else { continue };
         let czs: Vec<(usize, usize)> = slot
             .iter()
             .filter_map(|&gi| match c.gates()[gi] {

@@ -10,6 +10,10 @@
 #   scripts/ci.sh --cosim-smoke  # run the tiny cycle-accurate co-simulation
 #                                # sweep (cosim --smoke) and diff its JSON
 #                                # against tests/golden/cosim_smoke.json
+#   scripts/ci.sh --pipeline-smoke # assert the default compile pipeline still
+#                                # matches tests/golden/engine_smoke.json
+#                                # byte-for-byte, then exercise the alternative
+#                                # --router/--scheduler strategies
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +25,20 @@ cargo test -q --offline
 
 echo "==> cargo fmt --check"
 cargo fmt --check
+
+# The ROADMAP's offline constraint: the dependency graph — dev edges
+# included, test-only crates were the bulk of what PR 1 removed — must
+# contain workspace members only (every crate line resolves to a path
+# inside this repo, nothing from a registry).
+echo "==> cargo tree --offline (workspace members only)"
+externals=$(cargo tree --offline --workspace --edges normal,build,dev \
+    | grep ' v' | grep -vF "($PWD" || true)
+if [[ -n "$externals" ]]; then
+    echo "external dependencies detected in cargo tree:" >&2
+    echo "$externals" >&2
+    exit 1
+fi
+echo "dependency graph is workspace-only"
 
 # golden_smoke <label> <bin> <golden>: run `<bin> --smoke` (2 designs x
 # 2 benchmarks, 2 workers) and diff its JSON against the committed golden.
@@ -46,12 +64,30 @@ cosim_smoke() {
     golden_smoke cosim cosim tests/golden/cosim_smoke.json
 }
 
+# The default-pipeline golden-stability contract (see ROADMAP.md): the
+# pass-pipeline refactor must keep `sweep --smoke` byte-identical to the
+# committed golden, and every alternative strategy must still compile,
+# validate and run end to end.
+pipeline_smoke() {
+    engine_smoke
+    echo "==> alternative pipeline strategies (lookahead router, asap scheduler)"
+    cargo run -q --release --offline -p digiq-bench --bin sweep -- \
+        --small --workers 2 --router lookahead --scheduler asap > /dev/null
+    cargo run -q --release --offline -p digiq-bench --bin cosim -- \
+        --small --workers 2 --diff-analytic --json --router lookahead > /dev/null
+    echo "alternative strategies OK"
+}
+
 if [[ "${1:-}" == "--engine-smoke" ]]; then
     engine_smoke
 fi
 
 if [[ "${1:-}" == "--cosim-smoke" ]]; then
     cosim_smoke
+fi
+
+if [[ "${1:-}" == "--pipeline-smoke" ]]; then
+    pipeline_smoke
 fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
@@ -66,7 +102,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     echo "--- cosim (--diff-analytic)"
     cargo run -q --release --offline -p digiq-bench --bin cosim -- --diff-analytic --small
 
-    engine_smoke
+    pipeline_smoke
     cosim_smoke
 
     echo "==> examples"

@@ -11,7 +11,8 @@
 //! * [`sfq_hw`] — RSFQ hardware substrate (Table III cells, netlists,
 //!   synthesis passes, calibrated cost model, analog current generator);
 //! * [`qcircuit`] — circuit IR, the Table IV NISQ benchmarks, 32×32-grid
-//!   routing and crosstalk-aware scheduling;
+//!   routing, crosstalk-aware scheduling, and the unified compiler pass
+//!   pipeline (`qcircuit::pipeline`) with pluggable strategies;
 //! * [`calib`] — the §V software-calibration layer (bitstream search,
 //!   parking frequencies, drift models, per-qubit decomposition);
 //! * [`digiq_core`] — the controller architectures themselves (design
