@@ -21,10 +21,13 @@
 //!
 //! Common flags (parsed by `digiq_bench::cli`): `--workers N` (default:
 //! all cores), `--seeds N` (drift seeds `0..N`), `--json` (print the
-//! report JSON instead of the table), and the pass-pipeline strategy
+//! report JSON instead of the table), the pass-pipeline strategy
 //! selection `--router greedy|lookahead` / `--scheduler crosstalk|asap`
 //! (the differential check holds for every configuration — both engines
-//! consume the identical compiled artifact).
+//! consume the identical compiled artifact), and the artifact-store
+//! flags `--cache-dir DIR` (persist compiled stages and co-simulation
+//! reports so a second run warm-starts; store counters go to stderr) /
+//! `--store-capacity N` (LRU-bound the in-memory store).
 
 use digiq_bench::cli::CommonArgs;
 use digiq_core::cosim::{simulate, CosimParams};
@@ -189,8 +192,9 @@ fn main() {
     let (smoke, workers) = (args.smoke, args.workers);
     let spec = spec_for_mode(smoke, args.full, args.seeds).with_pipeline(args.pipeline);
 
-    let engine = EvalEngine::new(CostModel::default());
+    let engine = args.engine();
     let report = engine.run_cosim(&spec, workers);
+    args.report_store_stats(&engine);
 
     if smoke || args.json {
         println!("{}", report.to_json_string());

@@ -4,12 +4,15 @@
 //! Default: 64 qubits with coupler stride 4 (minutes). `--full`: all
 //! 1,024 qubits / 1,984 couplers (much longer). `--workers N` sets the
 //! error model's per-qubit/per-coupler worker pool (default: all cores,
-//! matching the evaluation engine's sharding).
+//! matching the evaluation engine's sharding; flags parsed by
+//! `digiq_bench::cli`).
+use digiq_bench::cli::CommonArgs;
 use digiq_core::engine::default_workers;
 use digiq_core::error_model::{calibrate_shared, fig10a, fig10b, ErrorModelConfig};
 
 fn main() {
-    let full = digiq_bench::has_flag("--full");
+    let args = CommonArgs::parse(default_workers());
+    let full = args.full;
     let mut config = if full {
         ErrorModelConfig::default()
     } else {
@@ -17,9 +20,7 @@ fn main() {
         c.grid_cols = 8;
         c
     };
-    config.threads = digiq_bench::arg_value("--workers")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_workers);
+    config.threads = args.workers;
     eprintln!("calibrating shared bitstreams…");
     let shared = calibrate_shared(&config);
     eprintln!(

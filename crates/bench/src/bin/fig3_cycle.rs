@@ -2,15 +2,19 @@
 //! cycle — d "0"s (Rz via delay), the Ry(π/2) bitstream, and the residual
 //! Rz absorbed into the next cycle.
 //!
-//! `--json` emits the decomposition via `sfq_hw::json`.
+//! `--json` emits the decomposition via `sfq_hw::json` (flags parsed by
+//! `digiq_bench::cli`).
 use calib::opt_decomp::{decompose_opt, OptBasis};
+use digiq_bench::cli::CommonArgs;
+use digiq_core::engine::default_workers;
 use sfq_hw::json::{Json, ToJson};
 
 fn main() {
+    let args = CommonArgs::parse(default_workers());
     let basis = OptBasis::ideal(255);
     let target = qsim::gates::h();
     let dec = decompose_opt(&target, &basis, 0.0, 2, 1e-6);
-    if digiq_bench::has_flag("--json") {
+    if args.json {
         let delays: Vec<u64> = dec.delays.iter().map(|&d| d as u64).collect();
         let json = Json::obj([
             ("delays", delays.to_json()),

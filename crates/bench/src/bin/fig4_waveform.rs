@@ -1,14 +1,18 @@
 //! Regenerates Fig 4b: the CZ current waveform from 25 staggered SFQ/DC
 //! blocks into the R1/C1/R2 + flex-line network.
 //!
-//! `--json` emits the waveform via `sfq_hw::json`.
+//! `--json` emits the waveform via `sfq_hw::json` (flags parsed by
+//! `digiq_bench::cli`).
+use digiq_bench::cli::CommonArgs;
+use digiq_core::engine::default_workers;
 use sfq_hw::analog::CurrentGenerator;
 use sfq_hw::json::{Json, ToJson};
 
 fn main() {
+    let args = CommonArgs::parse(default_workers());
     let gen = CurrentGenerator::paper_fig4();
     let wave = gen.simulate(70.0, 0.5);
-    if digiq_bench::has_flag("--json") {
+    if args.json {
         let json = Json::obj([
             ("dt_ns", wave.dt_ns.to_json()),
             ("samples_ma", wave.samples_ma.to_json()),

@@ -3,22 +3,16 @@
 //!
 //! Default: 5×5 drift grid ±6 MHz (runtime ~minutes). `--small`: 3×3.
 //! The independent panels are sharded through the evaluation engine's
-//! ordered map, so output order is fixed for any worker count.
+//! ordered map, so output order is fixed for any worker count (flags
+//! parsed by `digiq_bench::cli`).
 use calib::cz::{calibrate_shared_pulse, fig7_panel};
-use digiq_core::engine::par_map_ordered;
+use digiq_bench::cli::CommonArgs;
+use digiq_core::engine::{default_workers, par_map_ordered};
 use qsim::two_qubit::CoupledTransmons;
 
 fn main() {
-    let grid = if digiq_bench::has_flag("--small") {
-        3
-    } else {
-        5
-    };
-    let pulses_max = if digiq_bench::has_flag("--small") {
-        2
-    } else {
-        3
-    };
+    let args = CommonArgs::parse(default_workers());
+    let (grid, pulses_max) = if args.small { (3, 2) } else { (5, 3) };
     let pair = CoupledTransmons::paper_pair(6.21286, 4.14238);
     let pulse = calibrate_shared_pulse(&pair, 4.0, 0.25);
     println!(
@@ -26,7 +20,7 @@ fn main() {
         pulse.nominal_error
     );
     let panels: Vec<usize> = (1..=pulses_max).collect();
-    let results = par_map_ordered(&panels, panels.len(), |_, &n| {
+    let results = par_map_ordered(&panels, args.workers.min(panels.len()), |_, &n| {
         fig7_panel(&pair, &pulse, n, 0.006, grid, 3)
     });
     for (n, points) in panels.iter().zip(&results) {

@@ -4,17 +4,18 @@
 //! The 26 design points synthesize independently, so the sweep is
 //! sharded over `--workers` threads (default: all cores) through the
 //! evaluation engine's ordered map — rows always print in the canonical
-//! `fig8_points` order. `--json` emits the rows via `sfq_hw::json`.
+//! `fig8_points` order. `--json` emits the rows via `sfq_hw::json`
+//! (flags parsed by `digiq_bench::cli`).
+use digiq_bench::cli::CommonArgs;
 use digiq_core::engine::default_workers;
 use digiq_core::hardware::fig8_sweep_parallel;
 use sfq_hw::json::ToJson;
 
 fn main() {
-    let workers = digiq_bench::arg_value("--workers")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_workers);
+    let args = CommonArgs::parse(default_workers());
+    let workers = args.workers;
     let rows = fig8_sweep_parallel(&sfq_hw::cost::CostModel::default(), workers);
-    if digiq_bench::has_flag("--json") {
+    if args.json {
         println!("{}", rows.to_json_string());
         return;
     }

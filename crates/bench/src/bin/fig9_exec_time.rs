@@ -4,15 +4,17 @@
 //! Driven by the batched evaluation engine: the 5 × 6 job matrix is
 //! sharded over `--workers` threads (default: all cores) and every
 //! shared artifact — compiled circuits, sequence databases — is built
-//! once in the engine's keyed cache, so each benchmark compiles a single
-//! time for all five designs. Default runs the full paper-scale
+//! once in the engine's artifact store, so each benchmark compiles a
+//! single time for all five designs. Default runs the full paper-scale
 //! benchmarks on the 32×32 grid (release build recommended); `--small`
-//! runs reduced instances on an 8×8 grid in seconds.
+//! runs reduced instances on an 8×8 grid in seconds. With `--cache-dir`
+//! the compiled stages and baselines persist, so a second run (or a
+//! preceding `sweep --cache-dir` over the same benchmarks) warm-starts
+//! with zero pass builds.
 
 use digiq_bench::cli::CommonArgs;
-use digiq_core::engine::{default_workers, BenchScale, BenchmarkSpec, EvalEngine, SweepSpec};
+use digiq_core::engine::{default_workers, BenchScale, BenchmarkSpec, SweepSpec};
 use qcircuit::bench::ALL_BENCHMARKS;
-use sfq_hw::cost::CostModel;
 
 fn main() {
     let args = CommonArgs::parse(default_workers());
@@ -30,7 +32,7 @@ fn main() {
             .collect();
     }
 
-    let engine = EvalEngine::new(CostModel::default());
+    let engine = args.engine();
     let report = engine.run(&spec, workers);
 
     println!(
@@ -68,4 +70,5 @@ fn main() {
         );
     }
     println!("paper: DigiQ_opt(BS=16) 4.7–9.8x; DigiQ_min(BS=4) 11.0–14.4x; outliers up to 36.9x");
+    args.report_store_stats(&engine);
 }

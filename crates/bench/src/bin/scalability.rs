@@ -2,17 +2,17 @@
 //!
 //! Tiles synthesize in parallel through the evaluation engine's hardware
 //! cache (`--workers`, default: all cores); `--json` emits the rows via
-//! `sfq_hw::json`.
+//! `sfq_hw::json` (flags parsed by `digiq_bench::cli`).
+use digiq_bench::cli::CommonArgs;
 use digiq_core::engine::default_workers;
 use digiq_core::scalability::scalability_table_parallel;
 use sfq_hw::json::ToJson;
 
 fn main() {
-    let workers = digiq_bench::arg_value("--workers")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(default_workers);
+    let args = CommonArgs::parse(default_workers());
+    let workers = args.workers;
     let rows = scalability_table_parallel(&sfq_hw::cost::CostModel::default(), workers);
-    if digiq_bench::has_flag("--json") {
+    if args.json {
         println!("{}", rows.to_json_string());
         return;
     }

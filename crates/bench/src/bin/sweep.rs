@@ -17,16 +17,25 @@
 //!
 //! Common flags (parsed by `digiq_bench::cli`): `--workers N` (default:
 //! all cores), `--seeds N` (drift seeds `0..N`), `--json` (print the
-//! report JSON — with per-pass pipeline metrics appended — instead of
-//! the table), and the pass-pipeline strategy selection
-//! `--router greedy|lookahead` / `--scheduler crosstalk|asap`.
+//! report JSON — with per-pass pipeline metrics and store counters
+//! appended — instead of the table), the pass-pipeline strategy
+//! selection `--router greedy|lookahead` / `--scheduler crosstalk|asap`,
+//! and the artifact-store flags: `--cache-dir DIR` persists compiled
+//! stages, baselines and the job journal so a second run warm-starts
+//! (report JSON byte-identical, zero pass builds — store counters go to
+//! stderr), `--resume` skips journaled jobs after an interruption, and
+//! `--store-capacity N` bounds the in-memory store (LRU eviction).
+//! `--interrupt-after N` deliberately stops after `N` fresh jobs (the
+//! interruption-testing hook behind the CI resume check).
 
 use digiq_bench::cli::CommonArgs;
 use digiq_core::design::ControllerDesign;
 use digiq_core::engine::{default_workers, EvalEngine, PassCacheStats, SweepReport, SweepSpec};
+use digiq_core::store::{ArtifactStore, SweepJournal};
 use qcircuit::bench::{Benchmark, ALL_BENCHMARKS};
 use sfq_hw::cost::CostModel;
 use sfq_hw::json::{Json, ToJson};
+use std::path::Path;
 use std::time::Instant;
 
 fn spec_for_mode(smoke: bool, full: bool, seeds: usize) -> SweepSpec {
@@ -120,13 +129,18 @@ fn print_pass_stats(stats: &PassCacheStats) {
     }
 }
 
-/// The report JSON with the pipeline configuration and per-pass
-/// accounting appended as extra top-level fields (`SweepReport::parse`
-/// ignores unknown fields, so the result still parses as a plain
-/// report). Recording the strategy selection keeps archived reports
-/// reproducible — two runs under different pipelines stay
-/// distinguishable.
-fn json_with_pass_stats(report: &SweepReport, spec: &SweepSpec, stats: &PassCacheStats) -> String {
+/// The report JSON with the pipeline configuration, per-pass accounting
+/// and store counters appended as extra top-level fields
+/// (`SweepReport::parse` ignores unknown fields, so the result still
+/// parses as a plain report). Recording the strategy selection keeps
+/// archived reports reproducible — two runs under different pipelines
+/// stay distinguishable.
+fn json_with_pass_stats(
+    report: &SweepReport,
+    spec: &SweepSpec,
+    stats: &PassCacheStats,
+    engine: &EvalEngine,
+) -> String {
     let mut j = report.to_json();
     if let Json::Obj(fields) = &mut j {
         fields.push((
@@ -138,6 +152,7 @@ fn json_with_pass_stats(report: &SweepReport, spec: &SweepSpec, stats: &PassCach
             ]),
         ));
         fields.push(("pass_cache".to_string(), stats.to_json()));
+        fields.push(("store".to_string(), engine.store_stats().to_json()));
     }
     j.render()
 }
@@ -193,8 +208,40 @@ fn main() {
         return;
     }
 
-    let engine = EvalEngine::new(CostModel::default());
-    let report = engine.run(&spec, workers);
+    let engine = args.engine();
+    let report = match &args.cache_dir {
+        None => engine.run(&spec, workers),
+        Some(dir) => {
+            // Persistent mode: journal completed jobs under the cache
+            // dir (keyed by the spec fingerprint) so `--resume` can skip
+            // them, and report the deterministic cold-run cache
+            // accounting so warm-started and resumed runs serialize
+            // byte-identically to an uninterrupted one.
+            let journal_dir = ArtifactStore::journal_dir(Path::new(dir));
+            let journal = SweepJournal::open(&journal_dir, spec.stable_key()).unwrap_or_else(|e| {
+                eprintln!("error: cannot open sweep journal under `{dir}`: {e}");
+                std::process::exit(1);
+            });
+            let interrupt_after = digiq_bench::arg_value("--interrupt-after").map(|v| {
+                v.parse::<usize>().unwrap_or_else(|_| {
+                    eprintln!("error: `--interrupt-after` needs a non-negative integer, got `{v}`");
+                    std::process::exit(2);
+                })
+            });
+            match engine.run_journaled(&spec, workers, &journal, args.resume, interrupt_after) {
+                Some(report) => report,
+                None => {
+                    eprintln!(
+                        "sweep interrupted after {} fresh job(s); journal at {} — \
+                         rerun with --resume to finish",
+                        interrupt_after.unwrap_or(0),
+                        journal.path().display()
+                    );
+                    return;
+                }
+            }
+        }
+    };
     if smoke {
         // The CI golden check diffs this byte-for-byte: the plain report
         // only, nothing appended.
@@ -202,10 +249,11 @@ fn main() {
     } else if args.json {
         println!(
             "{}",
-            json_with_pass_stats(&report, &spec, &engine.pass_cache_stats())
+            json_with_pass_stats(&report, &spec, &engine.pass_cache_stats(), &engine)
         );
     } else {
         print_table(&report);
         print_pass_stats(&engine.pass_cache_stats());
     }
+    args.report_store_stats(&engine);
 }

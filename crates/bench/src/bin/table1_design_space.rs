@@ -2,13 +2,15 @@
 //!
 //! `--json` emits the rows via `sfq_hw::json`; the printed design points
 //! are exactly the ones `SweepSpec::table_one_designs` enumerates for the
-//! evaluation engine.
-use digiq_core::engine::SweepSpec;
+//! evaluation engine (flags parsed by `digiq_bench::cli`).
+use digiq_bench::cli::CommonArgs;
+use digiq_core::engine::{default_workers, SweepSpec};
 use sfq_hw::json::ToJson;
 
 fn main() {
+    let args = CommonArgs::parse(default_workers());
     let rows = digiq_core::design::design_space_table();
-    if digiq_bench::has_flag("--json") {
+    if args.json {
         println!("{}", rows.to_json_string());
         return;
     }

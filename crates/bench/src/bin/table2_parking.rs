@@ -1,18 +1,21 @@
 //! Regenerates Table II: optimal parking frequencies and drift tolerance
 //! for delay-implemented Rz gates with error ≤ 1e-4 at N = 255.
 //!
-//! `--max-rows N` caps the ranked rows (default 3, the paper's count);
+//! `--max-rows N` caps the ranked rows (default 3, the paper's count —
+//! the one bespoke flag beside the `digiq_bench::cli` family);
 //! `--json` emits the rows via `sfq_hw::json`.
+use digiq_bench::cli::CommonArgs;
+use digiq_core::engine::default_workers;
 use sfq_hw::json::{Json, ToJson};
 
 fn main() {
-    let fine = digiq_bench::has_flag("--full");
-    let step = if fine { 2.0e-5 } else { 1.0e-4 };
+    let args = CommonArgs::parse(default_workers());
+    let step = if args.full { 2.0e-5 } else { 1.0e-4 };
     let max_rows = digiq_bench::arg_value("--max-rows")
         .and_then(|v| v.parse().ok())
         .unwrap_or(3);
     let rows = calib::parking::parking_search((4.0, 6.5), 0.040, 255, 1.0e-4, step, max_rows);
-    if digiq_bench::has_flag("--json") {
+    if args.json {
         let json = Json::Arr(
             rows.iter()
                 .map(|r| {

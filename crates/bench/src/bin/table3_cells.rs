@@ -1,10 +1,14 @@
 //! Regenerates Table III: the RSFQ cell library.
 //!
-//! `--json` emits the rows via `sfq_hw::json`.
+//! `--json` emits the rows via `sfq_hw::json` (flags parsed by
+//! `digiq_bench::cli`).
+use digiq_bench::cli::CommonArgs;
+use digiq_core::engine::default_workers;
 use sfq_hw::json::{Json, ToJson};
 
 fn main() {
-    if digiq_bench::has_flag("--json") {
+    let args = CommonArgs::parse(default_workers());
+    if args.json {
         let json = Json::Arr(
             sfq_hw::cells::ALL_CELLS
                 .iter()

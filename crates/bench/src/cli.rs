@@ -1,10 +1,17 @@
-//! Shared CLI parsing for the sweep-shaped bench binaries.
+//! Shared CLI parsing for the bench binaries.
 //!
-//! Every engine-driven binary accepts the same flag family —
-//! `--small`/`--full`/`--smoke` mode selection, `--workers N`,
-//! `--seeds N`, `--json`, and the pass-pipeline strategy flags
-//! `--router greedy|lookahead` / `--scheduler crosstalk|asap` — and this
-//! module parses them once instead of thirteen copy-pasted variants.
+//! Every binary accepts the same flag family — `--small`/`--full`/
+//! `--smoke` mode selection, `--workers N`, `--seeds N`, `--json`, the
+//! pass-pipeline strategy flags `--router greedy|lookahead` /
+//! `--scheduler crosstalk|asap`, and the artifact-store flags
+//! `--cache-dir DIR` (persistent cross-process artifact cache),
+//! `--resume` (skip sweep jobs already journaled under the cache dir)
+//! and `--store-capacity N` (bound the in-memory store, LRU-evicting
+//! beyond it) — and this module parses them once instead of thirteen
+//! copy-pasted variants. Binaries with a bespoke extra flag (e.g.
+//! `table2_parking --max-rows`) read just that one via
+//! [`crate::arg_value`]; unknown flags are ignored, so the family is
+//! uniform across all binaries even where a flag has no effect.
 //!
 //! ```
 //! use digiq_bench::cli::CommonArgs;
@@ -14,12 +21,17 @@
 //! assert!(args.small && !args.smoke);
 //! assert_eq!(args.seeds, 3);
 //! assert_eq!(args.workers, 4); // fallback when --workers is absent
+//! assert_eq!(args.cache_dir, None); // in-memory store by default
 //! ```
 
+use digiq_core::engine::EvalEngine;
+use digiq_core::store::StoreConfig;
 use qcircuit::pipeline::{PipelineConfig, RouteStrategy, ScheduleStrategy};
+use sfq_hw::cost::CostModel;
+use std::path::PathBuf;
 
-/// The flag family shared by the sweep-shaped bench binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The flag family shared by the bench binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommonArgs {
     /// `--small`: reduced-scale run.
     pub small: bool,
@@ -36,6 +48,15 @@ pub struct CommonArgs {
     pub workers: usize,
     /// `--router` / `--scheduler`: compile-pipeline strategy selection.
     pub pipeline: PipelineConfig,
+    /// `--cache-dir DIR`: persist artifacts (and the sweep journal)
+    /// under `DIR` so later runs warm-start across processes.
+    pub cache_dir: Option<String>,
+    /// `--resume`: skip sweep jobs already completed in the cache dir's
+    /// journal (requires `--cache-dir`).
+    pub resume: bool,
+    /// `--store-capacity N`: bound the in-memory artifact store to `N`
+    /// resident entries (LRU eviction beyond; default unbounded).
+    pub store_capacity: Option<usize>,
 }
 
 impl CommonArgs {
@@ -65,7 +86,7 @@ impl CommonArgs {
                 Some(v) => v
                     .parse::<usize>()
                     .map(Some)
-                    .map_err(|_| format!("`{name}` needs a positive integer, got `{v}`")),
+                    .map_err(|_| format!("`{name}` needs a non-negative integer, got `{v}`")),
             }
         };
 
@@ -83,6 +104,11 @@ impl CommonArgs {
         if let Some(scheduler) = value("--scheduler")? {
             pipeline.scheduler = ScheduleStrategy::parse(&scheduler)?;
         }
+        let cache_dir = value("--cache-dir")?;
+        let resume = has("--resume");
+        if resume && cache_dir.is_none() {
+            return Err("`--resume` needs `--cache-dir` (the journal lives there)".to_string());
+        }
         Ok(CommonArgs {
             small: has("--small"),
             full: has("--full"),
@@ -91,6 +117,9 @@ impl CommonArgs {
             seeds: count("--seeds")?.unwrap_or(1).max(1),
             workers,
             pipeline,
+            cache_dir,
+            resume,
+            store_capacity: count("--store-capacity")?,
         })
     }
 
@@ -102,6 +131,40 @@ impl CommonArgs {
             eprintln!("error: {e}");
             std::process::exit(2);
         })
+    }
+
+    /// The artifact-store configuration these flags select.
+    pub fn store_config(&self) -> StoreConfig {
+        StoreConfig {
+            capacity: self.store_capacity,
+            cache_dir: self.cache_dir.as_ref().map(PathBuf::from),
+        }
+    }
+
+    /// An evaluation engine over a store configured from these flags
+    /// (in-memory and unbounded by default; persistent under
+    /// `--cache-dir`; LRU-bounded under `--store-capacity`).
+    pub fn engine(&self) -> EvalEngine {
+        EvalEngine::with_store_config(CostModel::default(), self.store_config())
+    }
+
+    /// Prints the store's counter snapshot as one machine-greppable
+    /// stderr line when `--cache-dir` is active (no-op otherwise). The
+    /// CI warm-start check matches `pass_builds=0` here; stderr keeps
+    /// the golden-diffed stdout pure. Shared by every engine-driven
+    /// binary so the line format cannot drift between them.
+    pub fn report_store_stats(&self, engine: &EvalEngine) {
+        if self.cache_dir.is_none() {
+            return;
+        }
+        let stats = engine.store_stats();
+        let (hits, misses, disk_hits, builds, evictions) = stats.totals();
+        eprintln!(
+            "store: pass_builds={} hits={hits} misses={misses} disk_hits={disk_hits} \
+             builds={builds} evictions={evictions} resident={}",
+            stats.pass_builds(),
+            stats.resident,
+        );
     }
 }
 
@@ -116,10 +179,14 @@ mod tests {
     #[test]
     fn defaults_are_the_paper_pipeline() {
         let a = CommonArgs::from_args(&[], 8).unwrap();
-        assert!(!a.small && !a.full && !a.smoke && !a.json);
+        assert!(!a.small && !a.full && !a.smoke && !a.json && !a.resume);
         assert_eq!(a.seeds, 1);
         assert_eq!(a.workers, 8);
         assert_eq!(a.pipeline, PipelineConfig::default());
+        assert_eq!(a.cache_dir, None);
+        assert_eq!(a.store_capacity, None);
+        let cfg = a.store_config();
+        assert!(cfg.capacity.is_none() && cfg.cache_dir.is_none());
     }
 
     #[test]
@@ -153,5 +220,37 @@ mod tests {
                 .seeds,
             1
         );
+    }
+
+    #[test]
+    fn store_flags_parse_and_validate() {
+        let a = CommonArgs::from_args(
+            &argv(&[
+                "--cache-dir",
+                "/tmp/digiq",
+                "--resume",
+                "--store-capacity",
+                "5",
+            ]),
+            1,
+        )
+        .unwrap();
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/digiq"));
+        assert!(a.resume);
+        assert_eq!(a.store_capacity, Some(5));
+        let cfg = a.store_config();
+        assert_eq!(cfg.capacity, Some(5));
+        assert_eq!(cfg.cache_dir, Some(PathBuf::from("/tmp/digiq")));
+        // A zero capacity is allowed (evict-everything stress mode)…
+        assert_eq!(
+            CommonArgs::from_args(&argv(&["--store-capacity", "0"]), 1)
+                .unwrap()
+                .store_capacity,
+            Some(0)
+        );
+        // …but malformed values and orphan --resume are not.
+        assert!(CommonArgs::from_args(&argv(&["--store-capacity", "x"]), 1).is_err());
+        assert!(CommonArgs::from_args(&argv(&["--cache-dir"]), 1).is_err());
+        assert!(CommonArgs::from_args(&argv(&["--resume"]), 1).is_err());
     }
 }

@@ -19,10 +19,17 @@
 //! | `sweep`               | batched design × benchmark × seed sweeps via `digiq_core::engine` |
 //! | `cosim`               | cycle-accurate co-simulation (`digiq_core::cosim`) with `--diff-analytic` validation of the Fig 9 model and `--trace` per-cycle dumps |
 //!
-//! The sweep-shaped binaries are driven by the batched evaluation engine
-//! (`digiq_core::engine`): jobs shard over `--workers` threads (default:
-//! every core), shared artifacts are memoized in keyed caches, and output
-//! is deterministic for any worker count. `sweep --compare-serial`
+//! Every binary parses the shared flag family in [`cli`] (`--small` /
+//! `--full` / `--smoke`, `--workers`, `--seeds`, `--json`, `--router` /
+//! `--scheduler`, and the artifact-store flags `--cache-dir` /
+//! `--resume` / `--store-capacity`). The sweep-shaped binaries are
+//! driven by the batched evaluation engine (`digiq_core::engine`): jobs
+//! shard over `--workers` threads (default: every core), shared
+//! artifacts are memoized in the unified `digiq_core::store`
+//! (persistently under `--cache-dir` — a second `sweep`, `cosim` or
+//! `fig9_exec_time` run warm-starts with zero pass builds, and an
+//! interrupted `sweep` resumes via `--resume`), and output is
+//! deterministic for any worker count. `sweep --compare-serial`
 //! measures the parallel speedup and proves byte-identical reports.
 //!
 //! Heavier harnesses accept `--small` / `--full` to trade fidelity for

@@ -1,0 +1,115 @@
+//! `digiq_bench::cli::CommonArgs` contract tests: the accepted flag
+//! family, bad-value rejection (exit code 2 from the real binary), and
+//! round-tripping of the router/scheduler strategy selections.
+
+use digiq_bench::cli::CommonArgs;
+use qcircuit::pipeline::{PipelineConfig, RouteStrategy, ScheduleStrategy};
+use std::process::Command;
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| s.to_string()).collect()
+}
+
+#[test]
+fn the_full_flag_family_parses() {
+    let a = CommonArgs::from_args(
+        &argv(&[
+            "--small",
+            "--full",
+            "--json",
+            "--seeds",
+            "5",
+            "--workers",
+            "7",
+            "--router",
+            "lookahead",
+            "--scheduler",
+            "asap",
+            "--cache-dir",
+            "/tmp/x",
+            "--resume",
+            "--store-capacity",
+            "9",
+        ]),
+        1,
+    )
+    .unwrap();
+    assert!(a.small && a.full && a.json && a.resume && !a.smoke);
+    assert_eq!((a.seeds, a.workers), (5, 7));
+    assert_eq!(a.pipeline.router, RouteStrategy::Lookahead { window: 16 });
+    assert_eq!(a.pipeline.scheduler, ScheduleStrategy::Asap);
+    assert_eq!(a.cache_dir.as_deref(), Some("/tmp/x"));
+    assert_eq!(a.store_capacity, Some(9));
+    // Unknown flags are ignored (bespoke per-binary extras pass through).
+    assert!(CommonArgs::from_args(&argv(&["--max-rows", "4"]), 1).is_ok());
+}
+
+#[test]
+fn bad_values_are_rejected_with_the_offending_flag_named() {
+    for (args, needle) in [
+        (vec!["--workers", "0"], "--workers"),
+        (vec!["--workers", "lots"], "--workers"),
+        (vec!["--seeds", "-1"], "--seeds"),
+        (vec!["--router", "magic"], "magic"),
+        (vec!["--scheduler", "magic"], "magic"),
+        (vec!["--store-capacity", "big"], "--store-capacity"),
+        (vec!["--cache-dir"], "--cache-dir"),
+        (vec!["--resume"], "--cache-dir"),
+    ] {
+        let err = CommonArgs::from_args(&argv(&args), 1).unwrap_err();
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+}
+
+/// The process-level contract: a malformed flag exits the real binary
+/// with status 2 and a message on stderr, before any work happens.
+#[test]
+fn malformed_flags_exit_the_binary_with_status_2() {
+    for args in [
+        &["--workers", "0"][..],
+        &["--router", "magic"],
+        &["--resume"],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_sweep"))
+            .args(args)
+            .output()
+            .expect("run sweep binary");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.starts_with("error:"), "{args:?}: {stderr}");
+        assert!(out.stdout.is_empty(), "{args:?} printed to stdout");
+    }
+}
+
+#[test]
+fn router_and_scheduler_selections_roundtrip() {
+    for (router, scheduler) in [
+        ("greedy", "crosstalk"),
+        ("greedy", "asap"),
+        ("lookahead", "crosstalk"),
+        ("lookahead", "asap"),
+    ] {
+        let a = CommonArgs::from_args(&argv(&["--router", router, "--scheduler", scheduler]), 1)
+            .unwrap();
+        // The parsed names round-trip back to the flag values…
+        assert_eq!(a.pipeline.router.name(), router);
+        assert_eq!(a.pipeline.scheduler.name(), scheduler);
+        // …and re-parsing the printed names reproduces the selection.
+        let b = CommonArgs::from_args(
+            &argv(&[
+                "--router",
+                a.pipeline.router.name(),
+                "--scheduler",
+                a.pipeline.scheduler.name(),
+            ]),
+            1,
+        )
+        .unwrap();
+        assert_eq!(a.pipeline, b.pipeline);
+    }
+    // Defaults reproduce the paper pipeline exactly.
+    assert_eq!(
+        CommonArgs::from_args(&[], 1).unwrap().pipeline,
+        PipelineConfig::default()
+    );
+}

@@ -20,9 +20,12 @@
 //! * [`system`] — the end-to-end facade (compile → route → schedule →
 //!   execute → report);
 //! * [`engine`] — the batched, multi-threaded sweep engine: declarative
-//!   design × benchmark × seed specs sharded across scoped workers, with
-//!   a keyed cache memoizing synthesized hardware, compiled circuits and
-//!   sequence databases; deterministic for any worker count.
+//!   design × benchmark × seed specs sharded across scoped workers,
+//!   deterministic for any worker count;
+//! * [`store`] — the unified content-addressed artifact store behind the
+//!   engine and the system facade: sharded build-once namespaces, LRU
+//!   eviction under an optional capacity, optional disk persistence
+//!   (`--cache-dir`) with atomic writes, and the sweep-resume journal.
 //!
 //! ## Quickstart
 //!
@@ -45,10 +48,12 @@ pub mod error_model;
 pub mod exec;
 pub mod hardware;
 pub mod scalability;
+pub mod store;
 pub mod system;
 
 pub use cosim::{CosimParams, CosimReport};
 pub use design::{ControllerDesign, SystemConfig};
 pub use engine::{CosimSweepReport, EvalEngine, SweepReport, SweepSpec};
 pub use hardware::{build_hardware, DesignHardware};
+pub use store::{Artifact, ArtifactStore, StoreConfig, StoreStats, SweepJournal};
 pub use system::{BenchmarkReport, DigiqSystem};

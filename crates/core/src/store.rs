@@ -1,0 +1,1278 @@
+//! The unified, content-addressed artifact store.
+//!
+//! Every expensive artifact the evaluation engine builds — benchmark
+//! circuits, synthesized hardware, compiled pipeline stages, sequence
+//! databases, baseline executions, co-simulation reports — used to live
+//! in its own ad-hoc per-process cache. This module replaces all of them
+//! with one [`ArtifactStore`]:
+//!
+//! * **content-addressed** — values are keyed by 64-bit stable digests
+//!   ([`qsim::rng::stable_hash`] chains: circuit fingerprints, pipeline
+//!   stage keys, design parameters), grouped into string *namespaces*
+//!   (`circuit`, `hardware`, `stage/route`, `baseline`, `cosim`, …);
+//! * **sharded** — entries spread over independently locked shards, with
+//!   build-once semantics per key: the first caller runs the builder,
+//!   concurrent callers of the same key block on the same slot and share
+//!   the built [`Arc`];
+//! * **bounded** — an optional capacity with least-recently-used
+//!   eviction; evicting never changes results, it only costs a rebuild
+//!   on the next lookup;
+//! * **persistent** — namespaces whose values implement [`Artifact`]
+//!   (compiled pipeline stages, [`ExecReport`] baselines,
+//!   [`CosimReport`]s) spill to disk under `--cache-dir` with atomic
+//!   write-then-rename, so a second sweep warm-starts across processes;
+//!   corrupt or truncated files are treated as misses and rebuilt;
+//! * **accounted** — per-namespace hit / miss / disk-hit / build /
+//!   eviction counters ([`ArtifactStore::stats`]), surfaced beside the
+//!   engine's `PassCacheStats`.
+//!
+//! The default configuration (in-memory, unbounded) reproduces the
+//! historical per-process cache behaviour bit for bit — the golden files
+//! `tests/golden/engine_smoke.json` and `tests/golden/cosim_smoke.json`
+//! pin this.
+//!
+//! On-disk layout (format [`DISK_FORMAT_VERSION`], see README):
+//!
+//! ```text
+//! <cache-dir>/v1/<namespace>/<key as %016x>.json   one artifact per file
+//! <cache-dir>/v1/journal/<spec key>.jsonl          sweep completion journal
+//! ```
+
+use crate::cosim::CosimReport;
+use crate::design::ControllerDesign;
+use crate::exec::ExecReport;
+use crate::system::MinBasisKind;
+use qcircuit::ir::{Circuit, Gate, OneQ};
+use qcircuit::mapping::Layout;
+use qcircuit::pipeline::{CompileArtifact, PassMetrics, Pipeline, PipelineConfig};
+use qcircuit::topology::Grid;
+use sfq_hw::json::{Json, ToJson};
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Version directory of the on-disk artifact format. Bump only for a
+/// deliberate, documented format change (see the ROADMAP's stability
+/// rules); old version directories are simply ignored, never migrated.
+pub const DISK_FORMAT_VERSION: &str = "v1";
+
+/// Locks a mutex, recovering the guard when a previous holder panicked.
+///
+/// Every shared structure guarded this way (store shards, counters,
+/// metric aggregations, result slots) is updated atomically from the
+/// caller's perspective — a panicking worker can leave the data stale but
+/// never torn — so recovering from the poison flag is always safe and
+/// keeps one crashed job from wedging every subsequent cache access.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Well-known namespace names of the evaluation engine's artifacts.
+pub mod ns {
+    /// Generated benchmark circuits (in-memory only).
+    pub const CIRCUIT: &str = "circuit";
+    /// Synthesized design hardware (in-memory only).
+    pub const HARDWARE: &str = "hardware";
+    /// Meet-in-the-middle sequence databases (in-memory only).
+    pub const SEQ_DB: &str = "seq_db";
+    /// Measured decomposition-length distributions (in-memory only).
+    pub const MIN_LENGTHS: &str = "min_lengths";
+    /// Impossible-MIMD baseline executions (persistent).
+    pub const BASELINE: &str = "baseline";
+    /// Cycle-accurate co-simulation reports (persistent).
+    pub const COSIM: &str = "cosim";
+    /// Prefix of the per-pipeline-stage namespaces (persistent).
+    pub const STAGE_PREFIX: &str = "stage/";
+
+    /// The namespace of one compile-pipeline stage label.
+    pub fn stage(label: &str) -> String {
+        format!("{STAGE_PREFIX}{label}")
+    }
+}
+
+/// A value the store can persist: a JSON codec over [`sfq_hw::json`]
+/// whose decode validates enough to reject corrupt files.
+pub trait Artifact: Send + Sync + Sized + 'static {
+    /// Short machine-readable kind name (debugging / docs).
+    fn kind() -> &'static str;
+
+    /// Serializes the artifact for disk.
+    fn encode(&self) -> Json;
+
+    /// Reconstructs an artifact from its [`Artifact::encode`] form.
+    /// `decode(encode(x))` must equal `x` exactly (bit-exact floats), so
+    /// a warm-started run serializes byte-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural mismatch; the store
+    /// treats any error as a corrupt file and rebuilds.
+    fn decode(j: &Json) -> Result<Self, String>;
+}
+
+// ---------------------------------------------------------------------
+// Artifact codecs
+// ---------------------------------------------------------------------
+
+impl Artifact for ExecReport {
+    fn kind() -> &'static str {
+        "exec_report"
+    }
+
+    fn encode(&self) -> Json {
+        self.to_json()
+    }
+
+    fn decode(j: &Json) -> Result<Self, String> {
+        ExecReport::from_json(j)
+    }
+}
+
+impl Artifact for CosimReport {
+    fn kind() -> &'static str {
+        "cosim_report"
+    }
+
+    fn encode(&self) -> Json {
+        self.to_json()
+    }
+
+    fn decode(j: &Json) -> Result<Self, String> {
+        CosimReport::from_json(j)
+    }
+}
+
+fn gate_to_json(g: &Gate) -> Json {
+    fn tagged(tag: &str, rest: &[Json]) -> Json {
+        let mut items = vec![tag.to_json()];
+        items.extend_from_slice(rest);
+        Json::Arr(items)
+    }
+    match *g {
+        Gate::OneQ { q, kind } => match kind {
+            OneQ::H => tagged("h", &[q.to_json()]),
+            OneQ::X => tagged("x", &[q.to_json()]),
+            OneQ::Y => tagged("y", &[q.to_json()]),
+            OneQ::Z => tagged("z", &[q.to_json()]),
+            OneQ::S => tagged("s", &[q.to_json()]),
+            OneQ::Sdg => tagged("sdg", &[q.to_json()]),
+            OneQ::T => tagged("t", &[q.to_json()]),
+            OneQ::Tdg => tagged("tdg", &[q.to_json()]),
+            OneQ::Rx(a) => tagged("rx", &[q.to_json(), a.to_json()]),
+            OneQ::Ry(a) => tagged("ry", &[q.to_json(), a.to_json()]),
+            OneQ::Rz(a) => tagged("rz", &[q.to_json(), a.to_json()]),
+            OneQ::U { theta, phi, lam } => tagged(
+                "u",
+                &[q.to_json(), theta.to_json(), phi.to_json(), lam.to_json()],
+            ),
+        },
+        Gate::Cx { c, t } => tagged("cx", &[c.to_json(), t.to_json()]),
+        Gate::Cz { a, b } => tagged("cz", &[a.to_json(), b.to_json()]),
+        Gate::Swap { a, b } => tagged("swap", &[a.to_json(), b.to_json()]),
+        Gate::Ccx { c1, c2, t } => tagged("ccx", &[c1.to_json(), c2.to_json(), t.to_json()]),
+    }
+}
+
+fn gate_from_json(j: &Json, n_qubits: usize) -> Result<Gate, String> {
+    let items = match j {
+        Json::Arr(items) if !items.is_empty() => items,
+        _ => return Err("gate must be a non-empty array".to_string()),
+    };
+    let tag = items[0].as_str().ok_or("gate tag must be a string")?;
+    let qubit = |i: usize| -> Result<usize, String> {
+        let x = items
+            .get(i)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("gate `{tag}` operand {i} must be a number"))?;
+        if x < 0.0 || x.fract() != 0.0 || x >= n_qubits as f64 {
+            return Err(format!("gate `{tag}` qubit {x} out of range {n_qubits}"));
+        }
+        Ok(x as usize)
+    };
+    let angle = |i: usize| -> Result<f64, String> {
+        items
+            .get(i)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("gate `{tag}` angle {i} must be a number"))
+    };
+    let arity = |n: usize| -> Result<(), String> {
+        if items.len() == n + 1 {
+            Ok(())
+        } else {
+            Err(format!("gate `{tag}` takes {n} operand(s)"))
+        }
+    };
+    let oneq = |kind: OneQ, n: usize| -> Result<Gate, String> {
+        arity(n)?;
+        Ok(Gate::OneQ { q: qubit(1)?, kind })
+    };
+    let pair = |make: fn(usize, usize) -> Gate| -> Result<Gate, String> {
+        arity(2)?;
+        let (a, b) = (qubit(1)?, qubit(2)?);
+        if a == b {
+            return Err(format!("gate `{tag}` repeats qubit {a}"));
+        }
+        Ok(make(a, b))
+    };
+    match tag {
+        "h" => oneq(OneQ::H, 1),
+        "x" => oneq(OneQ::X, 1),
+        "y" => oneq(OneQ::Y, 1),
+        "z" => oneq(OneQ::Z, 1),
+        "s" => oneq(OneQ::S, 1),
+        "sdg" => oneq(OneQ::Sdg, 1),
+        "t" => oneq(OneQ::T, 1),
+        "tdg" => oneq(OneQ::Tdg, 1),
+        "rx" => oneq(OneQ::Rx(angle(2)?), 2),
+        "ry" => oneq(OneQ::Ry(angle(2)?), 2),
+        "rz" => oneq(OneQ::Rz(angle(2)?), 2),
+        "u" => oneq(
+            OneQ::U {
+                theta: angle(2)?,
+                phi: angle(3)?,
+                lam: angle(4)?,
+            },
+            4,
+        ),
+        "cx" => pair(|c, t| Gate::Cx { c, t }),
+        "cz" => pair(|a, b| Gate::Cz { a, b }),
+        "swap" => pair(|a, b| Gate::Swap { a, b }),
+        "ccx" => {
+            arity(3)?;
+            let (c1, c2, t) = (qubit(1)?, qubit(2)?, qubit(3)?);
+            if c1 == c2 || c1 == t || c2 == t {
+                return Err("gate `ccx` repeats a qubit".to_string());
+            }
+            Ok(Gate::Ccx { c1, c2, t })
+        }
+        other => Err(format!("unknown gate tag `{other}`")),
+    }
+}
+
+fn circuit_to_json(c: &Circuit) -> Json {
+    Json::obj([
+        ("n_qubits", c.n_qubits().to_json()),
+        (
+            "gates",
+            Json::Arr(c.gates().iter().map(gate_to_json).collect()),
+        ),
+    ])
+}
+
+fn circuit_from_json(j: &Json) -> Result<Circuit, String> {
+    const CTX: &str = "circuit";
+    let n_qubits = j.count_field("n_qubits", CTX)? as usize;
+    if n_qubits > MAX_DECODED_QUBITS {
+        return Err(format!("circuit width {n_qubits} is implausible"));
+    }
+    let mut circuit = Circuit::new(n_qubits);
+    for g in j.arr_field("gates", CTX)? {
+        circuit.push(gate_from_json(g, n_qubits)?);
+    }
+    Ok(circuit)
+}
+
+fn layout_to_json(l: &Layout) -> Json {
+    Json::obj([
+        ("log_to_phys", l.assignment().to_json()),
+        ("n_physical", l.n_physical().to_json()),
+    ])
+}
+
+/// Upper bound on decoded register sizes: far above any real device
+/// (the paper grid is 1,024 qubits) but small enough that a corrupt
+/// cache file's `n_physical` can never drive a huge allocation — decode
+/// must *reject* damaged files, not abort the process on them.
+const MAX_DECODED_QUBITS: usize = 1 << 24;
+
+fn layout_from_json(j: &Json) -> Result<Layout, String> {
+    const CTX: &str = "layout";
+    let n_physical = j.count_field("n_physical", CTX)? as usize;
+    if n_physical > MAX_DECODED_QUBITS {
+        return Err(format!("layout register size {n_physical} is implausible"));
+    }
+    let mut log_to_phys = Vec::new();
+    let mut seen = vec![false; n_physical];
+    for p in j.arr_field("log_to_phys", CTX)? {
+        let x = p.as_f64().ok_or("layout entries must be numbers")?;
+        if x < 0.0 || x.fract() != 0.0 || x >= n_physical as f64 {
+            return Err(format!("layout maps outside {n_physical} physical qubits"));
+        }
+        let p = x as usize;
+        if seen[p] {
+            return Err(format!("layout assigns physical qubit {p} twice"));
+        }
+        seen[p] = true;
+        log_to_phys.push(p);
+    }
+    Ok(Layout::from_assignment(log_to_phys, n_physical))
+}
+
+impl Artifact for CompileArtifact {
+    fn kind() -> &'static str {
+        "compile_artifact"
+    }
+
+    fn encode(&self) -> Json {
+        let slots = match &self.slots {
+            Some(slots) => slots.to_json(),
+            None => Json::Null,
+        };
+        Json::obj([
+            ("circuit", circuit_to_json(&self.circuit)),
+            ("logical_gates", self.logical_gates.to_json()),
+            ("swaps", self.swaps.to_json()),
+            ("initial_layout", layout_to_json(&self.initial_layout)),
+            ("final_layout", layout_to_json(&self.final_layout)),
+            ("slots", slots),
+        ])
+    }
+
+    fn decode(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "compile artifact";
+        let circuit = circuit_from_json(
+            j.get("circuit")
+                .ok_or("compile artifact missing `circuit`")?,
+        )?;
+        let slots = match j.get("slots") {
+            None => return Err("compile artifact missing `slots`".to_string()),
+            Some(Json::Null) => None,
+            Some(Json::Arr(slots)) => {
+                let mut out: Vec<Vec<usize>> = Vec::with_capacity(slots.len());
+                for slot in slots {
+                    let items = match slot {
+                        Json::Arr(items) => items,
+                        _ => return Err("schedule slots must be arrays".to_string()),
+                    };
+                    let mut gates = Vec::with_capacity(items.len());
+                    for g in items {
+                        let x = g.as_f64().ok_or("slot entries must be numbers")?;
+                        if x < 0.0 || x.fract() != 0.0 || x >= circuit.len() as f64 {
+                            return Err(format!(
+                                "slot references gate {x} outside the {}-gate circuit",
+                                circuit.len()
+                            ));
+                        }
+                        gates.push(x as usize);
+                    }
+                    out.push(gates);
+                }
+                Some(out)
+            }
+            Some(_) => return Err("compile artifact `slots` must be an array or null".to_string()),
+        };
+        Ok(CompileArtifact {
+            logical_gates: j.count_field("logical_gates", CTX)? as usize,
+            swaps: j.count_field("swaps", CTX)? as usize,
+            initial_layout: layout_from_json(
+                j.get("initial_layout")
+                    .ok_or("compile artifact missing `initial_layout`")?,
+            )?,
+            final_layout: layout_from_json(
+                j.get("final_layout")
+                    .ok_or("compile artifact missing `final_layout`")?,
+            )?,
+            circuit,
+            slots,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stable content keys
+// ---------------------------------------------------------------------
+
+/// The stable word encoding of a design point (discriminant plus `BS`),
+/// the building block of hardware / co-simulation content keys.
+pub fn design_words(design: ControllerDesign) -> [u64; 2] {
+    match design {
+        ControllerDesign::SfqMimdNaive => [0, 0],
+        ControllerDesign::SfqMimdDecomp => [1, 0],
+        ControllerDesign::DigiqMin { bs } => [2, bs as u64],
+        ControllerDesign::DigiqOpt { bs } => [3, bs as u64],
+        ControllerDesign::ImpossibleMimd => [4, 0],
+    }
+}
+
+/// Content key of synthesized hardware: design point × group count.
+pub fn hardware_key(design: ControllerDesign, groups: usize) -> u64 {
+    let [d, bs] = design_words(design);
+    qsim::rng::stable_hash_str("hardware", &[d, bs, groups as u64])
+}
+
+/// Content key of a sequence database / length distribution basis kind.
+pub fn basis_kind_key(kind: MinBasisKind) -> u64 {
+    let word = match kind {
+        MinBasisKind::IdealRyT => 0,
+        MinBasisKind::Rich4 => 1,
+    };
+    qsim::rng::stable_hash_str("min_basis", &[word])
+}
+
+// ---------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------
+
+/// Configuration of an [`ArtifactStore`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreConfig {
+    /// Maximum resident entries across all namespaces (`None`:
+    /// unbounded). When exceeded, the least-recently-used entry is
+    /// evicted; evictions never change results, only cost rebuilds.
+    pub capacity: Option<usize>,
+    /// Root directory for disk persistence (`None`: in-memory only).
+    /// Artifacts land under `<cache_dir>/v1/<namespace>/<key>.json`.
+    pub cache_dir: Option<PathBuf>,
+}
+
+type ArcAny = Arc<dyn Any + Send + Sync>;
+
+struct Entry {
+    slot: Arc<OnceLock<ArcAny>>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Counters {
+    hits: u64,
+    misses: u64,
+    disk_hits: u64,
+    builds: u64,
+    evictions: u64,
+}
+
+const SHARD_COUNT: usize = 16;
+
+/// The unified content-addressed artifact store (see the module docs).
+pub struct ArtifactStore {
+    shards: Vec<Mutex<HashMap<(String, u64), Entry>>>,
+    counters: Mutex<BTreeMap<String, Counters>>,
+    resident: AtomicUsize,
+    clock: AtomicU64,
+    tmp_seq: AtomicU64,
+    capacity: Option<usize>,
+    disk_root: Option<PathBuf>,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("resident", &self.resident())
+            .field("capacity", &self.capacity)
+            .field("disk_root", &self.disk_root)
+            .finish()
+    }
+}
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        ArtifactStore::in_memory()
+    }
+}
+
+impl ArtifactStore {
+    /// An unbounded, in-memory store — the default configuration every
+    /// golden file pins.
+    pub fn in_memory() -> Self {
+        ArtifactStore::with_config(StoreConfig::default())
+    }
+
+    /// A store with explicit capacity / persistence configuration.
+    pub fn with_config(config: StoreConfig) -> Self {
+        ArtifactStore {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            counters: Mutex::new(BTreeMap::new()),
+            resident: AtomicUsize::new(0),
+            clock: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+            capacity: config.capacity,
+            disk_root: config.cache_dir.map(|d| d.join(DISK_FORMAT_VERSION)),
+        }
+    }
+
+    /// The configured capacity bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// The versioned disk root (`<cache_dir>/v1`), if persistence is on.
+    pub fn disk_root(&self) -> Option<&Path> {
+        self.disk_root.as_deref()
+    }
+
+    /// The journal directory a persistent sweep uses, for a cache dir.
+    pub fn journal_dir(cache_dir: &Path) -> PathBuf {
+        cache_dir.join(DISK_FORMAT_VERSION).join("journal")
+    }
+
+    /// Entries currently resident in memory.
+    pub fn resident(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    fn shard_index(ns: &str, key: u64) -> usize {
+        (qsim::rng::stable_hash_str(ns, &[key]) % SHARD_COUNT as u64) as usize
+    }
+
+    /// The build-once slot of `(ns, key)`, stamping its LRU clock.
+    fn slot(&self, ns: &str, key: u64) -> Arc<OnceLock<ArcAny>> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = lock_unpoisoned(&self.shards[Self::shard_index(ns, key)]);
+        let entry = shard.entry((ns.to_string(), key)).or_insert_with(|| Entry {
+            slot: Arc::new(OnceLock::new()),
+            last_used: 0,
+        });
+        entry.last_used = stamp;
+        Arc::clone(&entry.slot)
+    }
+
+    fn downcast<T: Send + Sync + 'static>(ns: &str, any: ArcAny) -> Arc<T> {
+        any.downcast::<T>().unwrap_or_else(|_| {
+            panic!("artifact store namespace `{ns}` holds a different value type")
+        })
+    }
+
+    /// Counter/eviction bookkeeping after a lookup. The resident count
+    /// was already incremented inside the init closure (before the slot
+    /// became visible to eviction), so a concurrent eviction of the
+    /// fresh entry can never decrement a count that was not yet added.
+    fn account(&self, ns: &str, initialized: bool, from_disk: bool) {
+        {
+            let mut map = lock_unpoisoned(&self.counters);
+            let c = map.entry(ns.to_string()).or_default();
+            if initialized {
+                c.misses += 1;
+                if from_disk {
+                    c.disk_hits += 1;
+                } else {
+                    c.builds += 1;
+                }
+            } else {
+                c.hits += 1;
+            }
+        }
+        if initialized {
+            self.evict_to_capacity();
+        }
+    }
+
+    /// Returns the value for `(ns, key)`, building it in memory on first
+    /// use. Concurrent callers of the same key block until the one
+    /// running builder finishes, so no artifact is ever built twice
+    /// (unless evicted in between). Also reports whether *this* call
+    /// populated the entry (a miss).
+    pub fn fetch<T: Send + Sync + 'static>(
+        &self,
+        ns: &str,
+        key: u64,
+        build: impl FnOnce() -> T,
+    ) -> (Arc<T>, bool) {
+        let slot = self.slot(ns, key);
+        let mut initialized = false;
+        let any = slot
+            .get_or_init(|| {
+                initialized = true;
+                let value = Arc::new(build()) as ArcAny;
+                self.resident.fetch_add(1, Ordering::Relaxed);
+                value
+            })
+            .clone();
+        self.account(ns, initialized, false);
+        (Self::downcast(ns, any), initialized)
+    }
+
+    /// [`ArtifactStore::fetch`] without the miss flag.
+    pub fn get_or_build<T: Send + Sync + 'static>(
+        &self,
+        ns: &str,
+        key: u64,
+        build: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        self.fetch(ns, key, build).0
+    }
+
+    /// The persistent variant of [`ArtifactStore::fetch`]: on a memory
+    /// miss, the store first tries `<disk_root>/<ns>/<key>.json` (a
+    /// *disk hit* — no build), and only then runs the builder and writes
+    /// the result back with atomic write-then-rename. Without a disk
+    /// root this is exactly [`ArtifactStore::fetch`].
+    pub fn fetch_artifact<T: Artifact>(
+        &self,
+        ns: &str,
+        key: u64,
+        build: impl FnOnce() -> T,
+    ) -> (Arc<T>, bool) {
+        let slot = self.slot(ns, key);
+        let mut initialized = false;
+        let mut from_disk = false;
+        let any = slot
+            .get_or_init(|| {
+                initialized = true;
+                let value = match self.disk_load::<T>(ns, key) {
+                    Some(v) => {
+                        from_disk = true;
+                        Arc::new(v) as ArcAny
+                    }
+                    None => {
+                        let v = build();
+                        self.disk_store(ns, key, &v);
+                        Arc::new(v) as ArcAny
+                    }
+                };
+                self.resident.fetch_add(1, Ordering::Relaxed);
+                value
+            })
+            .clone();
+        self.account(ns, initialized, from_disk);
+        (Self::downcast(ns, any), initialized)
+    }
+
+    /// A counter-neutral read: the resident value for `(ns, key)` if it
+    /// is already built, touching neither the hit/miss counters nor the
+    /// LRU clock (so peeking never changes accounting or eviction
+    /// order). Used by resumed sweeps to fingerprint already-generated
+    /// circuits without re-generating them.
+    pub fn peek<T: Send + Sync + 'static>(&self, ns: &str, key: u64) -> Option<Arc<T>> {
+        let shard = lock_unpoisoned(&self.shards[Self::shard_index(ns, key)]);
+        let any = shard.get(&(ns.to_string(), key))?.slot.get()?.clone();
+        drop(shard);
+        Some(Self::downcast(ns, any))
+    }
+
+    /// [`ArtifactStore::fetch_artifact`] without the miss flag.
+    pub fn get_or_build_artifact<T: Artifact>(
+        &self,
+        ns: &str,
+        key: u64,
+        build: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        self.fetch_artifact(ns, key, build).0
+    }
+
+    fn disk_path(&self, ns: &str, key: u64) -> Option<PathBuf> {
+        Some(
+            self.disk_root
+                .as_ref()?
+                .join(ns)
+                .join(format!("{key:016x}.json")),
+        )
+    }
+
+    /// Best-effort disk read: any IO, parse, or decode failure is a miss
+    /// (the builder runs and overwrites the corrupt file).
+    fn disk_load<T: Artifact>(&self, ns: &str, key: u64) -> Option<T> {
+        let text = std::fs::read_to_string(self.disk_path(ns, key)?).ok()?;
+        T::decode(&Json::parse(&text).ok()?).ok()
+    }
+
+    /// Best-effort atomic disk write: the artifact lands under a unique
+    /// temporary name first and is renamed into place, so concurrent
+    /// processes and interrupted runs never leave a half-written file
+    /// under the final name. IO errors are swallowed — persistence is an
+    /// accelerator, never a correctness dependency.
+    fn disk_store<T: Artifact>(&self, ns: &str, key: u64, value: &T) {
+        let Some(path) = self.disk_path(ns, key) else {
+            return;
+        };
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let tmp = dir.join(format!(
+            ".{key:016x}.tmp.{}.{}",
+            std::process::id(),
+            self.tmp_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, value.encode().render()).is_ok() {
+            if std::fs::rename(&tmp, &path).is_err() {
+                let _ = std::fs::remove_file(&tmp);
+            }
+        } else {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Evicts least-recently-used initialized entries until the resident
+    /// count fits the capacity. Mid-build entries are never evicted, and
+    /// callers already holding an evicted value's `Arc` keep it alive.
+    fn evict_to_capacity(&self) {
+        let Some(cap) = self.capacity else { return };
+        while self.resident.load(Ordering::Relaxed) > cap {
+            let mut victim: Option<(usize, String, u64, u64)> = None;
+            for (i, shard) in self.shards.iter().enumerate() {
+                let shard = lock_unpoisoned(shard);
+                for ((ns, key), entry) in shard.iter() {
+                    let older = victim.as_ref().is_none_or(|v| entry.last_used < v.3);
+                    if entry.slot.get().is_some() && older {
+                        victim = Some((i, ns.clone(), *key, entry.last_used));
+                    }
+                }
+            }
+            let Some((i, ns, key, stamp)) = victim else {
+                return; // nothing evictable (everything is mid-build)
+            };
+            let removed = {
+                let mut shard = lock_unpoisoned(&self.shards[i]);
+                match shard.get(&(ns.clone(), key)) {
+                    // Re-check under the lock: a concurrent hit may have
+                    // refreshed the stamp, in which case we rescan.
+                    Some(e) if e.last_used == stamp && e.slot.get().is_some() => {
+                        shard.remove(&(ns.clone(), key));
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if removed {
+                self.resident.fetch_sub(1, Ordering::Relaxed);
+                let mut map = lock_unpoisoned(&self.counters);
+                map.entry(ns).or_default().evictions += 1;
+            }
+        }
+    }
+
+    /// The counters of one namespace (all zero when it was never used).
+    pub fn namespace_stats(&self, namespace: &str) -> NamespaceStats {
+        let map = lock_unpoisoned(&self.counters);
+        let c = map.get(namespace).copied().unwrap_or_default();
+        NamespaceStats {
+            namespace: namespace.to_string(),
+            hits: c.hits,
+            misses: c.misses,
+            disk_hits: c.disk_hits,
+            builds: c.builds,
+            evictions: c.evictions,
+        }
+    }
+
+    /// A snapshot of every namespace's counters, name-sorted, plus the
+    /// store-wide resident entry count.
+    pub fn stats(&self) -> StoreStats {
+        let map = lock_unpoisoned(&self.counters);
+        StoreStats {
+            namespaces: map
+                .iter()
+                .map(|(namespace, c)| NamespaceStats {
+                    namespace: namespace.clone(),
+                    hits: c.hits,
+                    misses: c.misses,
+                    disk_hits: c.disk_hits,
+                    builds: c.builds,
+                    evictions: c.evictions,
+                })
+                .collect(),
+            resident: self.resident() as u64,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------
+
+/// Counters of one store namespace. Invariant:
+/// `misses == disk_hits + builds` (a memory miss is satisfied either
+/// from disk or by running the builder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamespaceStats {
+    /// Namespace name (`circuit`, `stage/route`, …).
+    pub namespace: String,
+    /// Lookups satisfied from memory.
+    pub hits: u64,
+    /// Lookups that missed memory.
+    pub misses: u64,
+    /// Memory misses satisfied from the disk layer.
+    pub disk_hits: u64,
+    /// Memory misses that ran the builder.
+    pub builds: u64,
+    /// Entries evicted under the capacity bound.
+    pub evictions: u64,
+}
+
+impl ToJson for NamespaceStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("namespace", self.namespace.to_json()),
+            ("hits", self.hits.to_json()),
+            ("misses", self.misses.to_json()),
+            ("disk_hits", self.disk_hits.to_json()),
+            ("builds", self.builds.to_json()),
+            ("evictions", self.evictions.to_json()),
+        ])
+    }
+}
+
+impl NamespaceStats {
+    /// Reads the stats back from their [`ToJson`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "namespace stats";
+        Ok(NamespaceStats {
+            namespace: j.str_field("namespace", CTX)?.to_string(),
+            hits: j.count_field("hits", CTX)?,
+            misses: j.count_field("misses", CTX)?,
+            disk_hits: j.count_field("disk_hits", CTX)?,
+            builds: j.count_field("builds", CTX)?,
+            evictions: j.count_field("evictions", CTX)?,
+        })
+    }
+}
+
+/// A whole-store counter snapshot ([`ArtifactStore::stats`]), surfaced
+/// beside the engine's `PassCacheStats` and appended to `sweep --json`
+/// output.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Per-namespace counters, name-sorted.
+    pub namespaces: Vec<NamespaceStats>,
+    /// Entries resident in memory at snapshot time.
+    pub resident: u64,
+}
+
+impl StoreStats {
+    /// The entry for one namespace, if it was ever used.
+    pub fn get(&self, namespace: &str) -> Option<&NamespaceStats> {
+        self.namespaces.iter().find(|n| n.namespace == namespace)
+    }
+
+    /// Builder executions across the compile-pipeline stage namespaces —
+    /// the number the warm-start proof drives to zero.
+    pub fn pass_builds(&self) -> u64 {
+        self.namespaces
+            .iter()
+            .filter(|n| n.namespace.starts_with(ns::STAGE_PREFIX))
+            .map(|n| n.builds)
+            .sum()
+    }
+
+    /// Store-wide totals `(hits, misses, disk_hits, builds, evictions)`.
+    pub fn totals(&self) -> (u64, u64, u64, u64, u64) {
+        self.namespaces.iter().fold((0, 0, 0, 0, 0), |acc, n| {
+            (
+                acc.0 + n.hits,
+                acc.1 + n.misses,
+                acc.2 + n.disk_hits,
+                acc.3 + n.builds,
+                acc.4 + n.evictions,
+            )
+        })
+    }
+
+    /// Reads the stats back from their [`ToJson`] form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let namespaces = match j.get("namespaces") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(NamespaceStats::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("store stats missing array `namespaces`".to_string()),
+        };
+        Ok(StoreStats {
+            namespaces,
+            resident: j.count_field("resident", "store stats")?,
+        })
+    }
+
+    /// Parses serialized stats (the inverse of [`ToJson::to_json_string`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON syntax error or the first structural mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        StoreStats::from_json(&j)
+    }
+}
+
+impl ToJson for StoreStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("namespaces", self.namespaces.to_json()),
+            ("resident", self.resident.to_json()),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stage-cached compilation
+// ---------------------------------------------------------------------
+
+/// Compiles `circuit` on `grid` (snake initial layout) through the shared
+/// [`Pipeline::standard`] for `cfg`, memoizing **every stage** in the
+/// store under its chained stable key ([`Pipeline::stage_keys`]): each
+/// pass runs at most once per distinct (input, pass-prefix) fingerprint,
+/// and pipelines sharing a prefix share the cached prefix artifacts.
+/// `on_build` observes the metrics of every pass that actually ran.
+/// Returns the final artifact and whether the final stage missed memory.
+///
+/// # Panics
+///
+/// Panics if the circuit needs more qubits than the grid has, or if a
+/// pass or its post-validation fails (a configuration bug — every
+/// schedule is checked by its strategy's validator on build).
+pub fn compile_cached(
+    store: &ArtifactStore,
+    circuit: &Circuit,
+    grid: &Grid,
+    cfg: &PipelineConfig,
+    mut on_build: impl FnMut(&PassMetrics),
+) -> (Arc<CompileArtifact>, bool) {
+    let pipeline = Pipeline::standard(cfg);
+    let layout = Layout::snake(circuit.n_qubits(), grid);
+    let input_key = CompileArtifact::input_key(circuit, &layout, grid);
+    let keys = pipeline.stage_keys(input_key);
+
+    let mut artifact: Option<Arc<CompileArtifact>> = None;
+    let mut final_missed = false;
+    for (stage, &key) in pipeline.stages().iter().zip(&keys) {
+        let namespace = ns::stage(stage.label());
+        let prev = artifact.clone();
+        let mut metrics = None;
+        let (value, missed) = store.fetch_artifact(&namespace, key, || {
+            let mut next = match &prev {
+                Some(a) => (**a).clone(),
+                None => CompileArtifact::new(circuit.clone(), layout.clone()),
+            };
+            let m = stage
+                .run_timed(&mut next, grid)
+                .unwrap_or_else(|e| panic!("compile pipeline: {e}"));
+            metrics = Some(m);
+            next
+        });
+        if let Some(m) = &metrics {
+            on_build(m);
+        }
+        final_missed = missed;
+        artifact = Some(value);
+    }
+    (
+        artifact.expect("standard pipelines have at least one stage"),
+        final_missed,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Sweep journal
+// ---------------------------------------------------------------------
+
+/// An append-only job-completion journal: one JSON line per finished
+/// sweep job, written through and flushed as workers complete, so an
+/// interrupted sweep can resume exactly where it stopped. The file is
+/// keyed by the sweep spec's stable fingerprint — a changed spec never
+/// reads another spec's journal — and loading tolerates truncated or
+/// corrupt lines (the interrupted write is simply re-run).
+pub struct SweepJournal {
+    path: PathBuf,
+    file: Mutex<std::fs::File>,
+}
+
+impl std::fmt::Debug for SweepJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SweepJournal")
+            .field("path", &self.path)
+            .finish()
+    }
+}
+
+impl SweepJournal {
+    /// Opens (creating if needed) the journal for a spec key under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error if the directory or file cannot be created.
+    pub fn open(dir: &Path, spec_key: u64) -> std::io::Result<SweepJournal> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{spec_key:016x}.jsonl"));
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        Ok(SweepJournal {
+            path,
+            file: Mutex::new(file),
+        })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads every valid `(job index, record)` line, in file order.
+    /// Corrupt or truncated lines are skipped; duplicate indices are
+    /// returned as-is (callers keep the last occurrence).
+    pub fn load(&self) -> Vec<(u64, Json)> {
+        let Ok(text) = std::fs::read_to_string(&self.path) else {
+            return Vec::new();
+        };
+        text.lines()
+            .filter_map(|line| {
+                let j = Json::parse(line).ok()?;
+                let index = j.count_field("index", "journal line").ok()?;
+                Some((index, j.get("record")?.clone()))
+            })
+            .collect()
+    }
+
+    /// Appends one completed job, flushing so the line survives an
+    /// immediate kill. Write errors are swallowed — the job simply
+    /// re-runs on resume.
+    pub fn append(&self, index: u64, record: &Json) {
+        let line = Json::obj([("index", index.to_json()), ("record", record.clone())]).render();
+        let mut file = lock_unpoisoned(&self.file);
+        let _ = writeln!(file, "{line}");
+        let _ = file.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcircuit::pipeline::{RouteStrategy, ScheduleStrategy};
+
+    fn demo_artifact(cfg: &PipelineConfig) -> CompileArtifact {
+        let grid = Grid::new(3, 3);
+        let mut c = Circuit::new(9);
+        c.h(0);
+        c.cx(0, 4);
+        c.ccx(1, 3, 5);
+        c.swap(2, 6);
+        c.cz(7, 8);
+        c.rz(8, 0.1234567891011);
+        c.ry(3, -2.5);
+        let art = CompileArtifact::new(c, Layout::snake(9, &grid));
+        Pipeline::standard(cfg).run(art, &grid).unwrap().0
+    }
+
+    #[test]
+    fn builds_once_per_key_across_threads() {
+        let store = ArtifactStore::in_memory();
+        let builds = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for k in 0..8u64 {
+                        let v = store.get_or_build("t", k % 3, || {
+                            builds.fetch_add(1, Ordering::Relaxed);
+                            k % 3 + 100
+                        });
+                        assert_eq!(*v % 100, k % 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(builds.load(Ordering::Relaxed), 3, "one build per key");
+        let stats = store.namespace_stats("t");
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.builds, 3);
+        assert_eq!(stats.disk_hits, 0);
+        assert_eq!(stats.hits, 4 * 8 - 3);
+        assert_eq!(store.resident(), 3);
+    }
+
+    #[test]
+    fn namespaces_isolate_keys() {
+        let store = ArtifactStore::in_memory();
+        let a = store.get_or_build("a", 7, || 1u32);
+        let b = store.get_or_build("b", 7, || 2u32);
+        assert_eq!((*a, *b), (1, 2));
+        assert_eq!(store.namespace_stats("a").misses, 1);
+        assert_eq!(store.namespace_stats("b").misses, 1);
+        assert_eq!(store.namespace_stats("never_used").misses, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let store = ArtifactStore::with_config(StoreConfig {
+            capacity: Some(2),
+            cache_dir: None,
+        });
+        store.get_or_build("t", 1, || 1u32);
+        store.get_or_build("t", 2, || 2u32);
+        store.get_or_build("t", 1, || -> u32 { unreachable!("still resident") }); // refresh 1
+        store.get_or_build("t", 3, || 3u32); // evicts 2 (least recent)
+        assert_eq!(store.resident(), 2);
+        assert_eq!(store.namespace_stats("t").evictions, 1);
+        // 1 and 3 are still resident; 2 rebuilds.
+        store.get_or_build("t", 1, || -> u32 { unreachable!("1 was refreshed") });
+        let rebuilt = AtomicU64::new(0);
+        store.get_or_build("t", 2, || {
+            rebuilt.fetch_add(1, Ordering::Relaxed);
+            2u32
+        });
+        assert_eq!(rebuilt.load(Ordering::Relaxed), 1, "2 was evicted");
+        let stats = store.namespace_stats("t");
+        assert_eq!(stats.builds, 4);
+        assert!(stats.evictions >= 2, "inserting 2 re-evicted something");
+    }
+
+    #[test]
+    fn lock_unpoisoned_recovers_from_a_panicked_holder() {
+        let m = std::sync::Mutex::new(5u32);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(m.lock().is_err(), "mutex is poisoned");
+        assert_eq!(*lock_unpoisoned(&m), 5);
+        *lock_unpoisoned(&m) = 6;
+        assert_eq!(*lock_unpoisoned(&m), 6);
+    }
+
+    #[test]
+    fn compile_artifact_codec_roundtrips_exactly() {
+        for cfg in [
+            PipelineConfig::default(),
+            PipelineConfig::default()
+                .with_router(RouteStrategy::Lookahead { window: 4 })
+                .with_scheduler(ScheduleStrategy::Asap),
+            PipelineConfig::default().with_fuse(),
+        ] {
+            let art = demo_artifact(&cfg);
+            let decoded = CompileArtifact::decode(&art.encode()).unwrap();
+            assert_eq!(decoded, art, "{cfg:?}");
+            // Byte-stable re-encode (bit-exact floats).
+            assert_eq!(decoded.encode().render(), art.encode().render());
+        }
+        // An unscheduled artifact (slots: null) round-trips too.
+        let grid = Grid::new(2, 2);
+        let mut c = Circuit::new(4);
+        c.u(0);
+        let unscheduled = CompileArtifact::new(c, Layout::snake(4, &grid));
+        let decoded = CompileArtifact::decode(&unscheduled.encode()).unwrap();
+        assert_eq!(decoded, unscheduled);
+    }
+
+    // A tiny builder extension used by the codec test above.
+    trait UExt {
+        fn u(&mut self, q: usize);
+    }
+    impl UExt for Circuit {
+        fn u(&mut self, q: usize) {
+            self.push(Gate::OneQ {
+                q,
+                kind: OneQ::U {
+                    theta: 0.25,
+                    phi: -1.5,
+                    lam: 3.25,
+                },
+            });
+        }
+    }
+
+    #[test]
+    fn codec_rejects_corrupt_documents() {
+        let art = demo_artifact(&PipelineConfig::default());
+        let good = art.encode();
+        for mutate in [
+            |j: &mut Json| {
+                // Slot referencing a gate outside the circuit.
+                if let Some(Json::Arr(slots)) = find_mut(j, "slots") {
+                    slots.push(Json::Arr(vec![Json::Num(1e9)]));
+                }
+            },
+            |j: &mut Json| {
+                // Layout collision.
+                if let Some(layout) = find_mut(j, "initial_layout") {
+                    if let Some(Json::Arr(tbl)) = find_mut(layout, "log_to_phys") {
+                        tbl[1] = tbl[0].clone();
+                    }
+                }
+            },
+            |j: &mut Json| {
+                // Unknown gate tag.
+                if let Some(circ) = find_mut(j, "circuit") {
+                    if let Some(Json::Arr(gates)) = find_mut(circ, "gates") {
+                        gates[0] = Json::Arr(vec!["warp".to_json(), 0u64.to_json()]);
+                    }
+                }
+            },
+        ] {
+            let mut bad = good.clone();
+            mutate(&mut bad);
+            assert!(CompileArtifact::decode(&bad).is_err());
+        }
+        assert!(CompileArtifact::decode(&Json::Null).is_err());
+        assert!(ExecReport::decode(&Json::obj([("x", Json::Null)])).is_err());
+        assert!(CosimReport::decode(&Json::Null).is_err());
+    }
+
+    #[test]
+    fn codec_rejects_implausible_register_sizes_without_allocating() {
+        // A corrupt-but-parseable file must be a decode error, never a
+        // giant allocation: 2^53−1 qubits would abort the process if the
+        // decoder trusted it.
+        let huge = (MAX_DECODED_QUBITS + 1).to_json();
+        let layout = Json::obj([
+            ("log_to_phys", Json::Arr(vec![])),
+            ("n_physical", huge.clone()),
+        ]);
+        assert!(layout_from_json(&layout).is_err());
+        let circuit = Json::obj([("n_qubits", huge), ("gates", Json::Arr(vec![]))]);
+        assert!(circuit_from_json(&circuit).is_err());
+        // The bound is generous: the paper grid decodes fine.
+        let grid = Grid::new(32, 32);
+        let layout = Layout::snake(1024, &grid);
+        assert_eq!(layout_from_json(&layout_to_json(&layout)).unwrap(), layout);
+    }
+
+    fn find_mut<'a>(j: &'a mut Json, key: &str) -> Option<&'a mut Json> {
+        match j {
+            Json::Obj(pairs) => pairs.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn store_stats_roundtrip_through_json() {
+        let store = ArtifactStore::in_memory();
+        store.get_or_build("stage/lower", 1, || 1u32);
+        store.get_or_build("stage/lower", 1, || 1u32);
+        store.get_or_build("baseline", 2, || 2u32);
+        let stats = store.stats();
+        assert_eq!(stats.namespaces.len(), 2);
+        assert_eq!(stats.get("stage/lower").unwrap().hits, 1);
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.totals(), (1, 2, 0, 2, 0));
+        let parsed = StoreStats::parse(&stats.to_json_string()).unwrap();
+        assert_eq!(parsed, stats);
+        assert!(StoreStats::parse("{}").is_err());
+        // misses == disk_hits + builds everywhere.
+        for n in &stats.namespaces {
+            assert_eq!(n.misses, n.disk_hits + n.builds);
+        }
+    }
+
+    #[test]
+    fn content_keys_discriminate() {
+        let mut keys = vec![
+            hardware_key(ControllerDesign::SfqMimdNaive, 1),
+            hardware_key(ControllerDesign::SfqMimdNaive, 2),
+            hardware_key(ControllerDesign::SfqMimdDecomp, 1),
+            hardware_key(ControllerDesign::DigiqMin { bs: 2 }, 2),
+            hardware_key(ControllerDesign::DigiqMin { bs: 4 }, 2),
+            hardware_key(ControllerDesign::DigiqOpt { bs: 4 }, 2),
+            basis_kind_key(MinBasisKind::IdealRyT),
+            basis_kind_key(MinBasisKind::Rich4),
+        ];
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 8, "all content keys distinct");
+        assert_eq!(
+            hardware_key(ControllerDesign::DigiqOpt { bs: 8 }, 2),
+            hardware_key(ControllerDesign::DigiqOpt { bs: 8 }, 2)
+        );
+    }
+}

@@ -10,6 +10,7 @@
 use crate::design::{ControllerDesign, SystemConfig};
 use crate::exec::{checkerboard_groups, execute, ExecParams, ExecReport};
 use crate::hardware::{build_hardware, DesignHardware};
+use crate::store::{self, ns, ArtifactStore};
 use calib::min_decomp::{decompose_min, MinBasis, SequenceDb};
 use qcircuit::bench::Benchmark;
 use qcircuit::ir::Circuit;
@@ -93,26 +94,55 @@ impl DigiqSystem {
     }
 
     /// [`DigiqSystem::build`] with an explicit compile-pipeline strategy
-    /// selection (routing / scheduling / fusion).
+    /// selection (routing / scheduling / fusion). Build artifacts go
+    /// through a private transient [`ArtifactStore`]; share one across
+    /// systems (and engines) with [`DigiqSystem::build_shared`].
     pub fn build_with(
         design: ControllerDesign,
         groups: usize,
         model: &CostModel,
         pipeline: PipelineConfig,
     ) -> Self {
+        DigiqSystem::build_shared(design, groups, model, pipeline, &ArtifactStore::in_memory())
+    }
+
+    /// [`DigiqSystem::build_with`] over a shared artifact store: the
+    /// expensive build inputs — synthesized hardware and the measured
+    /// decomposition-length distribution (with its sequence database) —
+    /// are fetched through the store under the same content keys the
+    /// evaluation engine uses, so systems sharing a store with each other
+    /// or with an [`crate::engine::EvalEngine`] build each artifact at
+    /// most once.
+    pub fn build_shared(
+        design: ControllerDesign,
+        groups: usize,
+        model: &CostModel,
+        pipeline: PipelineConfig,
+        store: &ArtifactStore,
+    ) -> Self {
         let config = SystemConfig::paper_default(design, groups);
         let grid = Grid::paper_grid();
         let hardware = if design == ControllerDesign::ImpossibleMimd {
             None
         } else {
-            Some(build_hardware(&config, model))
+            let hw = store.get_or_build(ns::HARDWARE, store::hardware_key(design, groups), || {
+                build_hardware(&config, model)
+            });
+            Some((*hw).clone())
         };
         let mut exec_params = ExecParams::new(config);
         if matches!(
             design,
             ControllerDesign::DigiqMin { .. } | ControllerDesign::SfqMimdDecomp
         ) {
-            exec_params.min_lengths = measured_min_lengths(design);
+            let kind = MinBasisKind::for_design(design);
+            let db = store.get_or_build(ns::SEQ_DB, store::basis_kind_key(kind), || {
+                SequenceDb::build(&kind.basis(), kind.half_depth())
+            });
+            let lengths = store.get_or_build(ns::MIN_LENGTHS, store::basis_kind_key(kind), || {
+                measured_min_lengths_with_db(&kind.basis(), &db)
+            });
+            exec_params.min_lengths = (*lengths).clone();
         }
         DigiqSystem {
             config,
@@ -375,6 +405,36 @@ mod tests {
         assert!(d.is_exact(1e-9), "{d:?}");
         assert!(cosim.trace.is_empty());
         assert!(!system.cosimulate_circuit(&c, true).trace.is_empty());
+    }
+
+    #[test]
+    fn build_shared_reuses_store_artifacts_across_systems_and_engines() {
+        use crate::engine::EvalEngine;
+        use std::sync::Arc;
+
+        let model = CostModel::default();
+        let store = Arc::new(ArtifactStore::in_memory());
+        let design = ControllerDesign::DigiqMin { bs: 2 };
+        let a = DigiqSystem::build_shared(design, 2, &model, PipelineConfig::default(), &store);
+        let _b = DigiqSystem::build_shared(design, 2, &model, PipelineConfig::default(), &store);
+        // Hardware, the sequence database and the length distribution
+        // each built once; the second system hit all three.
+        for namespace in [ns::HARDWARE, ns::SEQ_DB, ns::MIN_LENGTHS] {
+            let s = store.namespace_stats(namespace);
+            assert_eq!((s.builds, s.hits), (1, 1), "{namespace}");
+        }
+        // An engine over the same store reuses them too (same keys).
+        let engine = EvalEngine::with_store(model, Arc::clone(&store));
+        assert_eq!(store.namespace_stats(ns::MIN_LENGTHS).builds, 1);
+        let lengths = engine.min_lengths(design).expect("decomposing design");
+        assert_eq!(store.namespace_stats(ns::MIN_LENGTHS).builds, 1, "reused");
+        assert!(!lengths.is_empty());
+        let hw = engine.hardware(design, 2).expect("buildable design");
+        assert_eq!(store.namespace_stats(ns::HARDWARE).builds, 1, "reused");
+        assert_eq!(
+            hw.report.power_w,
+            a.hardware.as_ref().unwrap().report.power_w
+        );
     }
 
     #[test]

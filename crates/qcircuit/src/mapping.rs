@@ -105,6 +105,19 @@ impl Layout {
         self.log_to_phys.len()
     }
 
+    /// Size of the physical register this layout maps into.
+    pub fn n_physical(&self) -> usize {
+        self.phys_to_log.len()
+    }
+
+    /// The full logical→physical table (`assignment()[l]` is the physical
+    /// home of logical qubit `l`) — with [`Layout::n_physical`], enough to
+    /// reconstruct the layout via [`Layout::from_assignment`], which is
+    /// how the artifact store serializes compiled pipeline stages.
+    pub fn assignment(&self) -> &[usize] {
+        &self.log_to_phys
+    }
+
     /// Physical home of logical qubit `l`.
     pub fn phys(&self, l: usize) -> usize {
         self.log_to_phys[l]

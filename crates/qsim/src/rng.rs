@@ -99,6 +99,16 @@ impl StableHasher {
         self.write_u64(x as u64);
     }
 
+    /// Absorbs a raw byte run, length-prefixed so adjacent runs cannot
+    /// alias (`"ab" + "c"` hashes apart from `"a" + "bc"`).
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_usize(bytes.len());
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
     /// The avalanched 64-bit digest.
     #[inline]
     pub fn finish(&self) -> u64 {
@@ -112,6 +122,18 @@ impl StableHasher {
 /// Stable digest of a word sequence (see [`StableHasher`]).
 pub fn stable_hash(parts: &[u64]) -> u64 {
     let mut h = StableHasher::new();
+    for &p in parts {
+        h.write_u64(p);
+    }
+    h.finish()
+}
+
+/// Stable digest of a string plus a word sequence — the store/cache-key
+/// helper for values addressed by a name and numeric parameters (see
+/// [`StableHasher`]).
+pub fn stable_hash_str(name: &str, parts: &[u64]) -> u64 {
+    let mut h = StableHasher::new();
+    h.write_bytes(name.as_bytes());
     for &p in parts {
         h.write_u64(p);
     }
@@ -447,5 +469,24 @@ mod tests {
         let mut h = StableHasher::new();
         h.write_usize(77);
         assert_eq!(h.finish(), stable_hash(&[77]));
+    }
+
+    #[test]
+    fn stable_hash_str_is_length_prefixed_and_sensitive() {
+        assert_eq!(stable_hash_str("ns", &[1]), stable_hash_str("ns", &[1]));
+        assert_ne!(stable_hash_str("ns", &[1]), stable_hash_str("ns", &[2]));
+        assert_ne!(stable_hash_str("a", &[]), stable_hash_str("b", &[]));
+        // The length prefix keeps adjacent byte runs from aliasing.
+        let digest = |a: &str, b: &str| {
+            let mut h = StableHasher::new();
+            h.write_bytes(a.as_bytes());
+            h.write_bytes(b.as_bytes());
+            h.finish()
+        };
+        assert_ne!(digest("ab", "c"), digest("a", "bc"));
+        // And the empty string hashes apart from writing nothing at all.
+        let mut empty = StableHasher::new();
+        empty.write_bytes(b"");
+        assert_ne!(empty.finish(), StableHasher::new().finish());
     }
 }

@@ -199,6 +199,30 @@ impl Json {
             .ok_or_else(|| format!("{ctx} missing string `{key}`"))
     }
 
+    /// Reads object field `key` as an array, with a contextualized error.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing or mistyped field, prefixed with `ctx`.
+    pub fn arr_field(&self, key: &str, ctx: &str) -> Result<&[Json], String> {
+        match self.get(key) {
+            Some(Json::Arr(items)) => Ok(items),
+            _ => Err(format!("{ctx} missing array `{key}`")),
+        }
+    }
+
+    /// Reads object field `key` as a boolean, with a contextualized error.
+    ///
+    /// # Errors
+    ///
+    /// Describes the missing or mistyped field, prefixed with `ctx`.
+    pub fn bool_field(&self, key: &str, ctx: &str) -> Result<bool, String> {
+        match self.get(key) {
+            Some(Json::Bool(b)) => Ok(*b),
+            _ => Err(format!("{ctx} missing boolean `{key}`")),
+        }
+    }
+
     /// Reads object field `key` as a count: a non-negative integer within
     /// the exact-round-trip range of an `f64` (< 2⁵³). Rejecting larger
     /// values keeps `parse(serialize(x)) == x` honest — a count above
@@ -619,5 +643,26 @@ mod tests {
         assert!(big.count_field("c", "t").is_err());
         let edge = Json::obj([("c", Json::Num(9_007_199_254_740_991.0))]);
         assert_eq!(edge.count_field("c", "t"), Ok((1 << 53) - 1));
+    }
+
+    #[test]
+    fn arr_and_bool_field_readers() {
+        let j = Json::obj([
+            ("xs", vec![1u64, 2].to_json()),
+            ("flag", true.to_json()),
+            ("s", "hi".to_json()),
+        ]);
+        assert_eq!(j.arr_field("xs", "t").map(<[Json]>::len), Ok(2));
+        assert_eq!(j.bool_field("flag", "t"), Ok(true));
+        assert_eq!(
+            j.arr_field("flag", "thing"),
+            Err("thing missing array `flag`".to_string())
+        );
+        assert_eq!(
+            j.bool_field("s", "thing"),
+            Err("thing missing boolean `s`".to_string())
+        );
+        assert!(j.arr_field("missing", "t").is_err());
+        assert!(j.bool_field("missing", "t").is_err());
     }
 }

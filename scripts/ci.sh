@@ -14,6 +14,11 @@
 #                                # matches tests/golden/engine_smoke.json
 #                                # byte-for-byte, then exercise the alternative
 #                                # --router/--scheduler strategies
+#   scripts/ci.sh --store-smoke  # artifact-store warm start + resume: run
+#                                # sweep --smoke twice with one --cache-dir
+#                                # (second run must report zero pass builds and
+#                                # byte-identical JSON), then interrupt a sweep
+#                                # and prove --resume merges byte-identically
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -78,6 +83,36 @@ pipeline_smoke() {
     echo "alternative strategies OK"
 }
 
+# The artifact-store warm-start + resume contract: with a persistent
+# --cache-dir, a second `sweep --smoke` run loads every compiled stage and
+# baseline from disk (zero pass builds, byte-identical JSON — still matching
+# the golden), and an interrupted sweep resumed with --resume merges
+# byte-identically with an uninterrupted run.
+store_smoke() {
+    echo "==> artifact store smoke: warm start + resume, vs golden"
+    local dir dir2 out1 out2 out3 err2
+    dir=$(mktemp -d); dir2=$(mktemp -d)
+    out1=$(mktemp); out2=$(mktemp); out3=$(mktemp); err2=$(mktemp)
+    cargo run -q --release --offline -p digiq-bench --bin sweep -- \
+        --smoke --cache-dir "$dir" > "$out1" 2>/dev/null
+    cargo run -q --release --offline -p digiq-bench --bin sweep -- \
+        --smoke --cache-dir "$dir" > "$out2" 2> "$err2"
+    diff -u tests/golden/engine_smoke.json "$out1"
+    diff -u "$out1" "$out2"
+    if ! grep -q "pass_builds=0 " "$err2"; then
+        echo "warm-started sweep rebuilt a pipeline stage:" >&2
+        cat "$err2" >&2
+        exit 1
+    fi
+    cargo run -q --release --offline -p digiq-bench --bin sweep -- \
+        --smoke --cache-dir "$dir2" --resume --interrupt-after 1 >/dev/null 2>&1
+    cargo run -q --release --offline -p digiq-bench --bin sweep -- \
+        --smoke --cache-dir "$dir2" --resume > "$out3" 2>/dev/null
+    diff -u "$out1" "$out3"
+    rm -rf "$dir" "$dir2" "$out1" "$out2" "$out3" "$err2"
+    echo "store smoke OK (warm start: zero pass builds; resume: byte-identical)"
+}
+
 if [[ "${1:-}" == "--engine-smoke" ]]; then
     engine_smoke
 fi
@@ -88,6 +123,10 @@ fi
 
 if [[ "${1:-}" == "--pipeline-smoke" ]]; then
     pipeline_smoke
+fi
+
+if [[ "${1:-}" == "--store-smoke" ]]; then
+    store_smoke
 fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
@@ -104,6 +143,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
 
     pipeline_smoke
     cosim_smoke
+    store_smoke
 
     echo "==> examples"
     for e in quickstart design_space_tour parking_frequencies sfq_bloch_trajectory; do
