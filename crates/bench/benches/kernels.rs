@@ -4,9 +4,12 @@
 //!
 //! Runs on the std-only harness in `digiq_bench::timing` (no criterion —
 //! the workspace is offline and dependency-free). `--quick` shrinks the
-//! budgets for CI smoke runs.
+//! budgets for CI smoke runs; `--json-out FILE` additionally writes the
+//! collected stats as a JSON array (what `scripts/ci.sh --bench-json`
+//! records in `BENCH_<date>.json`).
 
 use digiq_bench::timing::Harness;
+use sfq_hw::json::{Json, ToJson};
 use std::hint::black_box;
 
 fn bench_expm(h: &mut Harness) {
@@ -134,4 +137,23 @@ fn main() {
     bench_compile(&mut h);
     bench_synthesis(&mut h);
     println!("\n{} kernels timed.", h.results.len());
+    if let Some(path) = digiq_bench::arg_value("--json-out") {
+        let rows = Json::Arr(
+            h.results
+                .iter()
+                .map(|(name, stats)| {
+                    let mut row = vec![("name".to_string(), name.to_json())];
+                    if let Json::Obj(fields) = stats.to_json() {
+                        row.extend(fields);
+                    }
+                    Json::Obj(row)
+                })
+                .collect(),
+        );
+        std::fs::write(&path, rows.render()).unwrap_or_else(|e| {
+            eprintln!("error: cannot write `{path}`: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("kernel stats written to {path}");
+    }
 }

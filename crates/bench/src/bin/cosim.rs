@@ -45,15 +45,9 @@ const NS_TOLERANCE: f64 = 1e-9;
 
 fn spec_for_mode(smoke: bool, full: bool, seeds: usize) -> SweepSpec {
     let spec = if smoke {
-        SweepSpec::small_grid(
-            vec![
-                ControllerDesign::DigiqMin { bs: 2 }.into(),
-                ControllerDesign::DigiqOpt { bs: 8 }.into(),
-            ],
-            &[Benchmark::Bv, Benchmark::Qgan],
-            4,
-            4,
-        )
+        // The shared constructor digiq-serve replays over the wire —
+        // one definition, one golden.
+        SweepSpec::cosim_smoke()
     } else if full {
         let mut s = SweepSpec::small_grid(SweepSpec::fig9_designs(), &ALL_BENCHMARKS, 32, 32);
         s.benchmarks = ALL_BENCHMARKS
@@ -188,7 +182,20 @@ fn main() {
         trace_demo();
         return;
     }
-    let args = CommonArgs::parse(default_workers());
+    let args = CommonArgs::parse_for(
+        "cosim",
+        &[
+            (
+                "--trace",
+                "co-simulate one small workload with the per-cycle trace and exit",
+            ),
+            (
+                "--diff-analytic",
+                "print per-job divergence, verify worker-count byte-identity, exit non-zero on drift",
+            ),
+        ],
+        default_workers(),
+    );
     let (smoke, workers) = (args.smoke, args.workers);
     let spec = spec_for_mode(smoke, args.full, args.seeds).with_pipeline(args.pipeline);
 

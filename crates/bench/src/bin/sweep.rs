@@ -29,7 +29,6 @@
 //! interruption-testing hook behind the CI resume check).
 
 use digiq_bench::cli::CommonArgs;
-use digiq_core::design::ControllerDesign;
 use digiq_core::engine::{default_workers, EvalEngine, PassCacheStats, SweepReport, SweepSpec};
 use digiq_core::store::{ArtifactStore, SweepJournal};
 use qcircuit::bench::{Benchmark, ALL_BENCHMARKS};
@@ -40,15 +39,9 @@ use std::time::Instant;
 
 fn spec_for_mode(smoke: bool, full: bool, seeds: usize) -> SweepSpec {
     let spec = if smoke {
-        SweepSpec::small_grid(
-            vec![
-                ControllerDesign::SfqMimdNaive.into(),
-                ControllerDesign::DigiqOpt { bs: 8 }.into(),
-            ],
-            &[Benchmark::Bv, Benchmark::Qgan],
-            4,
-            4,
-        )
+        // The shared constructor digiq-serve replays over the wire —
+        // one definition, one golden.
+        SweepSpec::smoke()
     } else if full {
         let mut s = SweepSpec::small_grid(SweepSpec::fig9_designs(), &ALL_BENCHMARKS, 32, 32);
         s.benchmarks = ALL_BENCHMARKS
@@ -158,7 +151,20 @@ fn json_with_pass_stats(
 }
 
 fn main() {
-    let args = CommonArgs::parse(default_workers());
+    let args = CommonArgs::parse_for(
+        "sweep",
+        &[
+            (
+                "--compare-serial",
+                "time fresh-engine serial vs parallel runs and verify byte-identity",
+            ),
+            (
+                "--interrupt-after N",
+                "stop after N fresh jobs (journal testing hook; needs --cache-dir)",
+            ),
+        ],
+        default_workers(),
+    );
     let (smoke, workers) = (args.smoke, args.workers);
     let spec = spec_for_mode(smoke, args.full, args.seeds).with_pipeline(args.pipeline);
 

@@ -9,7 +9,14 @@ use digiq_core::engine::default_workers;
 use sfq_hw::json::{Json, ToJson};
 
 fn main() {
-    let args = CommonArgs::parse(default_workers());
+    let args = CommonArgs::parse_for(
+        "table2_parking",
+        &[(
+            "--max-rows N",
+            "cap the ranked rows (default 3, the paper's count)",
+        )],
+        default_workers(),
+    );
     let step = if args.full { 2.0e-5 } else { 1.0e-4 };
     let max_rows = digiq_bench::arg_value("--max-rows")
         .and_then(|v| v.parse().ok())

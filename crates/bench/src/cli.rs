@@ -123,10 +123,78 @@ impl CommonArgs {
         })
     }
 
+    /// The shared-flag help text, with `extras` — each binary's bespoke
+    /// `("--flag VALUE", "what it does")` pairs — appended under their
+    /// own heading.
+    pub fn help_text(bin: &str, extras: &[(&str, &str)]) -> String {
+        let mut out = format!("usage: {bin} [flags]\n\nshared flags:\n");
+        for (flag, what) in [
+            ("--small", "reduced-scale run"),
+            ("--full", "paper-scale run"),
+            (
+                "--smoke",
+                "tiny golden-checked run (pins 2 workers, plain report JSON on stdout)",
+            ),
+            ("--json", "machine-readable report on stdout"),
+            ("--seeds N", "drift seeds 0..N (default 1)"),
+            ("--workers N", "worker threads (default: every core)"),
+            (
+                "--router greedy|lookahead",
+                "compile-pipeline routing strategy",
+            ),
+            (
+                "--scheduler crosstalk|asap",
+                "compile-pipeline scheduling strategy",
+            ),
+            (
+                "--cache-dir DIR",
+                "persist artifacts and the sweep journal under DIR (cross-process warm start)",
+            ),
+            (
+                "--resume",
+                "skip sweep jobs already journaled under the cache dir",
+            ),
+            (
+                "--store-capacity N",
+                "bound the in-memory artifact store to N entries (LRU eviction)",
+            ),
+            ("--help, -h", "print this help and exit"),
+        ] {
+            out.push_str(&format!("  {flag:28} {what}\n"));
+        }
+        if !extras.is_empty() {
+            out.push_str(&format!("\n{bin} flags:\n"));
+            for (flag, what) in extras {
+                out.push_str(&format!("  {flag:28} {what}\n"));
+            }
+        }
+        out
+    }
+
     /// Parses the process arguments, exiting with status 2 and a message
-    /// on stderr when a flag is malformed.
+    /// on stderr when a flag is malformed, and printing help (exit 0) on
+    /// `--help`/`-h`.
     pub fn parse(default_workers: usize) -> CommonArgs {
+        CommonArgs::parse_for("", &[], default_workers)
+    }
+
+    /// [`CommonArgs::parse`] with the binary's name and bespoke extra
+    /// flags named in its `--help` output.
+    pub fn parse_for(bin: &str, extras: &[(&str, &str)], default_workers: usize) -> CommonArgs {
         let args: Vec<String> = std::env::args().skip(1).collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            let bin = if bin.is_empty() {
+                std::env::args()
+                    .next()
+                    .as_deref()
+                    .and_then(|p| p.rsplit('/').next().map(str::to_string))
+                    .unwrap_or_else(|| "bench".to_string())
+            } else {
+                bin.to_string()
+            };
+            print!("{}", CommonArgs::help_text(&bin, extras));
+            std::process::exit(0);
+        }
         CommonArgs::from_args(&args, default_workers).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             std::process::exit(2);
@@ -220,6 +288,33 @@ mod tests {
                 .seeds,
             1
         );
+    }
+
+    #[test]
+    fn help_text_covers_the_shared_family_and_extras() {
+        let text = CommonArgs::help_text("sweep", &[("--interrupt-after N", "stop after N jobs")]);
+        assert!(text.starts_with("usage: sweep [flags]"));
+        for flag in [
+            "--small",
+            "--full",
+            "--smoke",
+            "--json",
+            "--seeds N",
+            "--workers N",
+            "--router greedy|lookahead",
+            "--scheduler crosstalk|asap",
+            "--cache-dir DIR",
+            "--resume",
+            "--store-capacity N",
+            "--help, -h",
+            "--interrupt-after N",
+        ] {
+            assert!(text.contains(flag), "help text missing `{flag}`:\n{text}");
+        }
+        assert!(text.contains("sweep flags:"));
+        // No extras, no dangling heading.
+        let bare = CommonArgs::help_text("fig3_cycle", &[]);
+        assert!(!bare.contains("fig3_cycle flags:"));
     }
 
     #[test]

@@ -22,7 +22,8 @@
 //! Every binary parses the shared flag family in [`cli`] (`--small` /
 //! `--full` / `--smoke`, `--workers`, `--seeds`, `--json`, `--router` /
 //! `--scheduler`, and the artifact-store flags `--cache-dir` /
-//! `--resume` / `--store-capacity`). The sweep-shaped binaries are
+//! `--resume` / `--store-capacity`); `--help` / `-h` print the family
+//! plus each binary's bespoke extras. The sweep-shaped binaries are
 //! driven by the batched evaluation engine (`digiq_core::engine`): jobs
 //! shard over `--workers` threads (default: every core), shared
 //! artifacts are memoized in the unified `digiq_core::store`
@@ -37,7 +38,14 @@
 //! paper scale). The `benches/` directory holds std-only timing kernels
 //! (see [`timing`]) for the computational hot paths; run them with
 //! `cargo bench -p digiq-bench --bench kernels` (add `-- --quick` for
-//! smoke mode).
+//! smoke mode, `--json-out FILE` to record the stats).
+//!
+//! The same evaluations are also served over TCP by the `digiq-serve`
+//! crate: its `serve` daemon shares one engine across clients (with
+//! request coalescing and graceful drain), and its `loadgen` binary —
+//! built on [`timing::percentile`] — measures the service's req/s and
+//! p50/p99 latency. `scripts/ci.sh --bench-json` records both kernel
+//! and service numbers in `BENCH_<date>.json`.
 
 pub mod cli;
 pub mod timing;

@@ -14,6 +14,7 @@
 //! assert!(stats.median_ns > 0.0);
 //! ```
 
+use sfq_hw::json::{Json, ToJson};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -30,6 +31,31 @@ pub struct Stats {
     pub samples: usize,
     /// Iterations per sample (calibrated).
     pub iters_per_sample: u64,
+}
+
+impl ToJson for Stats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("min_ns", self.min_ns.to_json()),
+            ("median_ns", self.median_ns.to_json()),
+            ("mean_ns", self.mean_ns.to_json()),
+            ("samples", self.samples.to_json()),
+            ("iters_per_sample", self.iters_per_sample.to_json()),
+        ])
+    }
+}
+
+/// The `p`-th percentile (0–100) of a latency sample by
+/// nearest-rank on a sorted copy — what `loadgen` reports as p50/p99.
+/// Returns 0.0 on an empty sample.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Micro-benchmark runner with fixed warm-up and sample budgets.
@@ -137,6 +163,33 @@ mod tests {
         assert!(s.min_ns <= s.median_ns || (s.median_ns - s.min_ns).abs() < 1e3);
         assert_eq!(h.results.len(), 1);
         assert_eq!(h.results[0].0, "noop_sum");
+    }
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 50.0), 50.0);
+        assert_eq!(percentile(&xs, 99.0), 99.0);
+        assert_eq!(percentile(&xs, 100.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&[42.0], 99.0), 42.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        // Order-independent: percentile sorts its own copy.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn stats_serialize_their_fields() {
+        let s = Stats {
+            min_ns: 1.0,
+            median_ns: 2.0,
+            mean_ns: 3.0,
+            samples: 4,
+            iters_per_sample: 5,
+        };
+        let j = Json::parse(&s.to_json_string()).unwrap();
+        assert_eq!(j.num_field("median_ns", "stats"), Ok(2.0));
+        assert_eq!(j.count_field("iters_per_sample", "stats"), Ok(5));
     }
 
     #[test]

@@ -81,6 +81,29 @@ fn malformed_flags_exit_the_binary_with_status_2() {
     }
 }
 
+/// `--help` / `-h` print the shared flag family plus the binary's own
+/// extras and exit 0 before any work happens.
+#[test]
+fn help_exits_zero_and_documents_the_flag_family() {
+    for (bin, flag, extra) in [
+        (env!("CARGO_BIN_EXE_sweep"), "--help", "--compare-serial"),
+        (env!("CARGO_BIN_EXE_sweep"), "-h", "--interrupt-after"),
+        (env!("CARGO_BIN_EXE_cosim"), "--help", "--diff-analytic"),
+        (env!("CARGO_BIN_EXE_table2_parking"), "-h", "--max-rows"),
+    ] {
+        let out = Command::new(bin).arg(flag).output().expect("run binary");
+        assert_eq!(out.status.code(), Some(0), "{bin} {flag}");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        // The shared family…
+        for shared in ["--workers", "--seeds", "--cache-dir", "--router", "--help"] {
+            assert!(stdout.contains(shared), "{bin} {flag} is missing {shared}");
+        }
+        // …plus the binary's bespoke extras.
+        assert!(stdout.contains(extra), "{bin} {flag} is missing {extra}");
+        assert!(out.stderr.is_empty(), "{bin} {flag} wrote to stderr");
+    }
+}
+
 #[test]
 fn router_and_scheduler_selections_roundtrip() {
     for (router, scheduler) in [

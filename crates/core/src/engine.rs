@@ -85,12 +85,14 @@ use calib::min_decomp::{SequenceDb, SharedSequenceDb};
 use qcircuit::bench::Benchmark;
 use qcircuit::ir::Circuit;
 use qcircuit::mapping::Layout;
-use qcircuit::pipeline::{CompileArtifact, PassMetrics, PipelineConfig};
+use qcircuit::pipeline::{
+    CompileArtifact, PassMetrics, PipelineConfig, RouteStrategy, ScheduleStrategy,
+};
 use qcircuit::topology::Grid;
 use sfq_hw::cost::CostModel;
 use sfq_hw::json::{Json, ToJson};
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// The number of workers a sweep uses when the caller does not care:
@@ -344,6 +346,154 @@ impl SweepSpec {
         h.finish()
     }
 
+    /// The 2-design × 2-benchmark smoke sweep on a 4×4 grid that
+    /// `tests/golden/engine_smoke.json` pins byte-for-byte — `sweep
+    /// --smoke`, `scripts/ci.sh --engine-smoke` and the digiq-serve
+    /// byte-identity tests all build exactly this spec.
+    pub fn smoke() -> Self {
+        SweepSpec::small_grid(
+            vec![
+                ControllerDesign::SfqMimdNaive.into(),
+                ControllerDesign::DigiqOpt { bs: 8 }.into(),
+            ],
+            &[Benchmark::Bv, Benchmark::Qgan],
+            4,
+            4,
+        )
+    }
+
+    /// The co-simulation smoke sweep that `tests/golden/cosim_smoke.json`
+    /// pins byte-for-byte (`cosim --smoke`, `scripts/ci.sh
+    /// --cosim-smoke`, and the serve cosim identity test).
+    pub fn cosim_smoke() -> Self {
+        SweepSpec::small_grid(
+            vec![
+                ControllerDesign::DigiqMin { bs: 2 }.into(),
+                ControllerDesign::DigiqOpt { bs: 8 }.into(),
+            ],
+            &[Benchmark::Bv, Benchmark::Qgan],
+            4,
+            4,
+        )
+    }
+
+    /// Reads a spec back from its [`ToJson`] form, enforcing the
+    /// plausibility bounds a network-facing server needs: non-empty
+    /// axes, at most 4096 entries per design/benchmark axis, at most
+    /// 65536 seeds (each below 2⁵³, the JSON round-trip bound), at most
+    /// 2¹⁶ grid sites, and group counts in `1..=4096`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first missing or mistyped field, or
+    /// the violated bound.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "sweep spec";
+        const MAX_AXIS: usize = 4096;
+        const MAX_SEEDS: usize = 65_536;
+        const MAX_SITES: u64 = 1 << 16;
+
+        let mut designs = Vec::new();
+        for d in j.arr_field("designs", CTX)? {
+            let design = ControllerDesign::from_json(
+                d.get("design").ok_or("design point missing `design`")?,
+            )?;
+            let groups = d.count_field("groups", "design point")? as usize;
+            if !(1..=MAX_AXIS).contains(&groups) {
+                return Err(format!(
+                    "design point `groups` out of range 1..=4096: {groups}"
+                ));
+            }
+            designs.push(DesignPoint { design, groups });
+        }
+        let mut benchmarks = Vec::new();
+        for b in j.arr_field("benchmarks", CTX)? {
+            let name = b.str_field("bench", "benchmark spec")?;
+            let bench =
+                Benchmark::from_name(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+            let scale = match b.get("scale") {
+                Some(Json::Str(s)) if s == "paper" => BenchScale::Paper,
+                Some(s @ Json::Obj(_)) => BenchScale::Small {
+                    max_qubits: s.count_field("max_qubits", "benchmark scale")? as usize,
+                },
+                _ => {
+                    return Err(
+                        "benchmark spec missing `scale` (\"paper\" or {max_qubits})".to_string()
+                    )
+                }
+            };
+            benchmarks.push(BenchmarkSpec { bench, scale });
+        }
+        let mut seeds = Vec::new();
+        for s in j.arr_field("seeds", CTX)? {
+            match s.as_f64() {
+                Some(x) if x >= 0.0 && x.fract() == 0.0 && x < 9_007_199_254_740_992.0 => {
+                    seeds.push(x as u64);
+                }
+                _ => {
+                    return Err(
+                        "sweep spec seeds must be non-negative integers below 2^53".to_string()
+                    )
+                }
+            }
+        }
+        if designs.is_empty() || benchmarks.is_empty() || seeds.is_empty() {
+            return Err("sweep spec axes must be non-empty".to_string());
+        }
+        if designs.len() > MAX_AXIS || benchmarks.len() > MAX_AXIS || seeds.len() > MAX_SEEDS {
+            return Err(
+                "sweep spec axis too large (designs/benchmarks <= 4096, seeds <= 65536)"
+                    .to_string(),
+            );
+        }
+        let grid_rows = j.count_field("grid_rows", CTX)?;
+        let grid_cols = j.count_field("grid_cols", CTX)?;
+        if grid_rows == 0 || grid_cols == 0 || grid_rows * grid_cols > MAX_SITES {
+            return Err(format!(
+                "sweep spec grid out of range (1..=2^16 sites): {grid_rows}x{grid_cols}"
+            ));
+        }
+        let p = j.get("pipeline").ok_or("sweep spec missing `pipeline`")?;
+        let mut router = RouteStrategy::parse(p.str_field("router", "pipeline config")?)?;
+        if let RouteStrategy::Lookahead { window } = &mut router {
+            if let Some(w) = p.get("window") {
+                *window = w
+                    .as_f64()
+                    .filter(|x| *x >= 1.0 && x.fract() == 0.0 && *x <= MAX_SITES as f64)
+                    .ok_or("pipeline config `window` must be an integer in 1..=2^16")?
+                    as usize;
+            }
+        }
+        let mut pipeline = PipelineConfig::default()
+            .with_router(router)
+            .with_scheduler(ScheduleStrategy::parse(
+                p.str_field("scheduler", "pipeline config")?,
+            )?);
+        pipeline.fuse = p.bool_field("fuse", "pipeline config")?;
+        Ok(SweepSpec {
+            designs,
+            benchmarks,
+            seeds,
+            grid_rows: grid_rows as usize,
+            grid_cols: grid_cols as usize,
+            synthesize_hardware: j.bool_field("synthesize_hardware", CTX)?,
+            base_seed: j.count_field("base_seed", CTX)?,
+            pipeline,
+        })
+    }
+
+    /// Parses a serialized spec (the inverse of
+    /// [`ToJson::to_json_string`]) under the [`SweepSpec::from_json`]
+    /// bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the JSON syntax error or the first structural mismatch.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        SweepSpec::from_json(&j)
+    }
+
     /// Enumerates the jobs in merge order (design-major, then benchmark,
     /// then seed).
     pub fn jobs(&self) -> Vec<JobSpec> {
@@ -361,6 +511,54 @@ impl SweepSpec {
             }
         }
         jobs
+    }
+}
+
+impl ToJson for SweepSpec {
+    /// The wire form digiq-serve carries: axes spelled out field by
+    /// field, the pipeline by strategy name (plus the lookahead window
+    /// when it applies) — `parse(to_json_string(spec)) == spec` for any
+    /// spec within the [`SweepSpec::from_json`] bounds.
+    fn to_json(&self) -> Json {
+        let designs: Vec<Json> = self
+            .designs
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("design", d.design.to_json()),
+                    ("groups", d.groups.to_json()),
+                ])
+            })
+            .collect();
+        let benchmarks: Vec<Json> = self
+            .benchmarks
+            .iter()
+            .map(|b| {
+                let scale = match b.scale {
+                    BenchScale::Paper => Json::Str("paper".to_string()),
+                    BenchScale::Small { max_qubits } => {
+                        Json::obj([("max_qubits", max_qubits.to_json())])
+                    }
+                };
+                Json::obj([("bench", b.bench.name().to_json()), ("scale", scale)])
+            })
+            .collect();
+        let mut pipeline = vec![("router", self.pipeline.router.name().to_json())];
+        if let RouteStrategy::Lookahead { window } = self.pipeline.router {
+            pipeline.push(("window", window.to_json()));
+        }
+        pipeline.push(("scheduler", self.pipeline.scheduler.name().to_json()));
+        pipeline.push(("fuse", self.pipeline.fuse.to_json()));
+        Json::obj([
+            ("designs", Json::Arr(designs)),
+            ("benchmarks", Json::Arr(benchmarks)),
+            ("seeds", self.seeds.to_json()),
+            ("grid_rows", self.grid_rows.to_json()),
+            ("grid_cols", self.grid_cols.to_json()),
+            ("synthesize_hardware", self.synthesize_hardware.to_json()),
+            ("base_seed", self.base_seed.to_json()),
+            ("pipeline", Json::obj(pipeline)),
+        ])
     }
 }
 
@@ -769,16 +967,31 @@ impl ToJson for PassCacheStats {
 /// their store warm across [`EvalEngine::run`] calls. Engines built over
 /// a disk-backed store ([`EvalEngine::with_store`]) additionally
 /// warm-start compiled stages, baselines and co-simulations from a
-/// previous process.
+/// previous process. Multi-tenant drivers (the `digiq-serve` daemon)
+/// share one engine across worker threads and open an [`EvalSession`]
+/// per request for isolated accounting.
 #[derive(Debug)]
 pub struct EvalEngine {
     model: CostModel,
     /// The unified artifact store (shareable with `DigiqSystem`s via
     /// [`EvalEngine::store`]; note that sharing also shares counters).
     store: Arc<ArtifactStore>,
-    /// Final-stage accounting — the [`CacheStats::compile_hits`] /
-    /// `compile_misses` the sweep report serializes (numerically
-    /// identical to the historical whole-compile cache).
+    /// The engine's own accounting state: every legacy `EvalEngine`
+    /// method charges here, cumulative across runs.
+    root: SessionState,
+}
+
+/// The per-request (or per-driver) accounting an evaluation carries:
+/// final-stage compile hit/miss counters ([`CacheStats::compile_hits`] /
+/// `compile_misses`, numerically identical to the historical
+/// whole-compile cache) and per-pass build aggregates. Historically
+/// these lived directly on [`EvalEngine`], which assumed one driving
+/// process per engine; extracting them lets one shared engine serve many
+/// concurrent sessions ([`EvalEngine::session`]) with independent
+/// accounting, while the engine's own `root` state keeps the legacy
+/// cumulative behaviour.
+#[derive(Debug, Default)]
+struct SessionState {
     compile_hits: AtomicU64,
     compile_misses: AtomicU64,
     pass_builds: Mutex<BTreeMap<String, PassBuildAgg>>,
@@ -877,9 +1090,7 @@ impl EvalEngine {
         EvalEngine {
             model,
             store,
-            compile_hits: AtomicU64::new(0),
-            compile_misses: AtomicU64::new(0),
-            pass_builds: Mutex::new(BTreeMap::new()),
+            root: SessionState::default(),
         }
     }
 
@@ -892,6 +1103,12 @@ impl EvalEngine {
     /// The engine's artifact store.
     pub fn store(&self) -> &Arc<ArtifactStore> {
         &self.store
+    }
+
+    /// The engine's cost model (what
+    /// [`crate::system::DigiqSystem::build_for_engine`] shares).
+    pub fn model(&self) -> &CostModel {
+        &self.model
     }
 
     /// Store-wide per-namespace counters (hits, misses, disk hits,
@@ -909,9 +1126,9 @@ impl EvalEngine {
             })
     }
 
-    /// Folds one pass build's metrics into the per-pass accounting.
-    fn record_pass_build(&self, m: &PassMetrics) {
-        let mut map = lock_unpoisoned(&self.pass_builds);
+    /// Folds one pass build's metrics into a session's accounting.
+    fn record_pass_build(state: &SessionState, m: &PassMetrics) {
+        let mut map = lock_unpoisoned(&state.pass_builds);
         let agg = map.entry(m.pass.clone()).or_default();
         agg.wall_ns += m.wall_ns;
         agg.gates_in += m.gates_before as u64;
@@ -949,14 +1166,24 @@ impl EvalEngine {
         grid: &Grid,
         cfg: &PipelineConfig,
     ) -> Arc<CompileArtifact> {
+        self.compiled_in(&self.root, circuit, grid, cfg)
+    }
+
+    fn compiled_in(
+        &self,
+        state: &SessionState,
+        circuit: &Circuit,
+        grid: &Grid,
+        cfg: &PipelineConfig,
+    ) -> Arc<CompileArtifact> {
         let (artifact, final_missed) =
             store::compile_cached(&self.store, circuit, grid, cfg, |m| {
-                self.record_pass_build(m)
+                Self::record_pass_build(state, m)
             });
         if final_missed {
-            self.compile_misses.fetch_add(1, Ordering::Relaxed);
+            state.compile_misses.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.compile_hits.fetch_add(1, Ordering::Relaxed);
+            state.compile_hits.fetch_add(1, Ordering::Relaxed);
         }
         artifact
     }
@@ -1009,6 +1236,10 @@ impl EvalEngine {
     /// per-namespace counters (compile hits/misses account the final
     /// pipeline stage of this engine's own compiles).
     pub fn cache_stats(&self) -> CacheStats {
+        self.cache_stats_in(&self.root)
+    }
+
+    fn cache_stats_in(&self, state: &SessionState) -> CacheStats {
         let counts = |name: &str| {
             let s = self.store.namespace_stats(name);
             (s.hits, s.misses)
@@ -1021,8 +1252,8 @@ impl EvalEngine {
         CacheStats {
             circuit_hits,
             circuit_misses,
-            compile_hits: self.compile_hits.load(Ordering::Relaxed),
-            compile_misses: self.compile_misses.load(Ordering::Relaxed),
+            compile_hits: state.compile_hits.load(Ordering::Relaxed),
+            compile_misses: state.compile_misses.load(Ordering::Relaxed),
             hardware_hits,
             hardware_misses,
             seq_db_hits,
@@ -1039,10 +1270,25 @@ impl EvalEngine {
     /// for a fixed job set regardless of worker count (under the default
     /// unbounded in-memory store).
     pub fn pass_cache_stats(&self) -> PassCacheStats {
-        let builds = lock_unpoisoned(&self.pass_builds);
-        let passes = self
-            .store
-            .stats()
+        self.pass_cache_stats_in(&self.root, None)
+    }
+
+    /// Per-pass accounting of `state`; with a `base` store snapshot the
+    /// stage hit/miss counters are the delta since that snapshot (what a
+    /// per-request [`EvalSession`] reports), otherwise they are the
+    /// store's cumulative counters.
+    fn pass_cache_stats_in(
+        &self,
+        state: &SessionState,
+        base: Option<&StoreStats>,
+    ) -> PassCacheStats {
+        let builds = lock_unpoisoned(&state.pass_builds);
+        let stats = self.store.stats();
+        let stats = match base {
+            Some(base) => stats.since(base),
+            None => stats,
+        };
+        let passes = stats
             .namespaces
             .iter()
             .filter(|n| n.namespace.starts_with(ns::STAGE_PREFIX))
@@ -1154,10 +1400,10 @@ impl EvalEngine {
 
     /// Assembles the shared per-job artifacts — identical for the
     /// analytic and co-simulation modes.
-    fn job_context(&self, spec: &SweepSpec, job: &JobSpec) -> JobContext {
+    fn job_context(&self, state: &SessionState, spec: &SweepSpec, job: &JobSpec) -> JobContext {
         let grid = Grid::new(spec.grid_rows, spec.grid_cols);
         let circuit = self.benchmark_circuit(job.bench, spec.base_seed);
-        let compiled = self.compiled_with(&circuit, &grid, &spec.pipeline);
+        let compiled = self.compiled_in(state, &circuit, &grid, &spec.pipeline);
         let key = compile_key(&circuit, &grid, &spec.pipeline);
 
         let mut config = SystemConfig::paper_default(job.point.design, job.point.groups);
@@ -1182,13 +1428,17 @@ impl EvalEngine {
     /// Evaluates one job (pure given the spec; used by [`EvalEngine::run`]
     /// and directly by tests).
     pub fn run_job(&self, spec: &SweepSpec, job: &JobSpec) -> JobRecord {
+        self.run_job_in(&self.root, spec, job)
+    }
+
+    fn run_job_in(&self, state: &SessionState, spec: &SweepSpec, job: &JobSpec) -> JobRecord {
         let JobContext {
             key,
             circuit,
             compiled,
             params,
             groups,
-        } = self.job_context(spec, job);
+        } = self.job_context(state, spec, job);
         let exec = execute(&compiled.circuit, compiled.scheduled(), &groups, &params);
         // The Impossible MIMD normalization baseline ignores the seed,
         // the group map and the decomposition distribution, so it is a
@@ -1233,14 +1483,18 @@ impl EvalEngine {
     /// records in job-index order. The report (including its cache
     /// accounting) is identical for any worker count.
     pub fn run(&self, spec: &SweepSpec, workers: usize) -> SweepReport {
-        let before = self.cache_stats();
+        self.run_in(&self.root, spec, workers)
+    }
+
+    fn run_in(&self, state: &SessionState, spec: &SweepSpec, workers: usize) -> SweepReport {
+        let before = self.cache_stats_in(state);
         let jobs = spec.jobs();
-        let records = par_map_ordered(&jobs, workers, |_, job| self.run_job(spec, job));
+        let records = par_map_ordered(&jobs, workers, |_, job| self.run_job_in(state, spec, job));
         SweepReport {
             grid_rows: spec.grid_rows,
             grid_cols: spec.grid_cols,
             jobs: records,
-            cache: self.cache_stats().since(&before),
+            cache: self.cache_stats_in(state).since(&before),
         }
     }
 
@@ -1250,13 +1504,22 @@ impl EvalEngine {
     /// Co-simulations are memoized per (compiled artifact, design point,
     /// derived seed).
     pub fn run_cosim_job(&self, spec: &SweepSpec, job: &JobSpec) -> CosimRecord {
+        self.run_cosim_job_in(&self.root, spec, job)
+    }
+
+    fn run_cosim_job_in(
+        &self,
+        state: &SessionState,
+        spec: &SweepSpec,
+        job: &JobSpec,
+    ) -> CosimRecord {
         let JobContext {
             key,
             circuit,
             compiled,
             params,
             groups,
-        } = self.job_context(spec, job);
+        } = self.job_context(state, spec, job);
         let cosim = self.store.get_or_build_artifact(
             ns::COSIM,
             cosim_store_key(key, job.point.design, job.point.groups, params.seed),
@@ -1286,8 +1549,19 @@ impl EvalEngine {
     /// cycle-accurate machine alongside the analytic model. Byte-identical
     /// serialized output for any worker count.
     pub fn run_cosim(&self, spec: &SweepSpec, workers: usize) -> CosimSweepReport {
+        self.run_cosim_in(&self.root, spec, workers)
+    }
+
+    fn run_cosim_in(
+        &self,
+        state: &SessionState,
+        spec: &SweepSpec,
+        workers: usize,
+    ) -> CosimSweepReport {
         let jobs = spec.jobs();
-        let records = par_map_ordered(&jobs, workers, |_, job| self.run_cosim_job(spec, job));
+        let records = par_map_ordered(&jobs, workers, |_, job| {
+            self.run_cosim_job_in(state, spec, job)
+        });
         CosimSweepReport {
             grid_rows: spec.grid_rows,
             grid_cols: spec.grid_cols,
@@ -1323,6 +1597,28 @@ impl EvalEngine {
         resume: bool,
         interrupt_after: Option<usize>,
     ) -> Option<SweepReport> {
+        self.run_journaled_in(
+            &self.root,
+            spec,
+            workers,
+            journal,
+            resume,
+            RunControl {
+                interrupt_after,
+                stop: None,
+            },
+        )
+    }
+
+    fn run_journaled_in(
+        &self,
+        state: &SessionState,
+        spec: &SweepSpec,
+        workers: usize,
+        journal: &SweepJournal,
+        resume: bool,
+        ctl: RunControl<'_>,
+    ) -> Option<SweepReport> {
         let jobs = spec.jobs();
         let mut merged: BTreeMap<usize, JobRecord> = BTreeMap::new();
         if resume {
@@ -1340,20 +1636,48 @@ impl EvalEngine {
             .filter(|j| !merged.contains_key(&j.index))
             .copied()
             .collect();
-        let interrupted = interrupt_after.is_some_and(|n| n < pending.len());
-        if let Some(n) = interrupt_after {
+        let interrupted = ctl.interrupt_after.is_some_and(|n| n < pending.len());
+        if let Some(n) = ctl.interrupt_after {
             pending.truncate(n);
         }
-        let records = par_map_ordered(&pending, workers, |_, job| {
-            let record = self.run_job(spec, job);
-            journal.append(job.index as u64, &record.to_json());
-            record
+        // A hand-rolled pool rather than `par_map_ordered`: workers check
+        // the external stop flag before claiming each job, so a draining
+        // server stops between jobs while every job already claimed still
+        // finishes and journals (the journal is what makes the drain
+        // recoverable).
+        let workers = workers.max(1).min(pending.len().max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<JobRecord>>> =
+            pending.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    if ctl.stop.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pending.len() {
+                        break;
+                    }
+                    let job = &pending[i];
+                    let record = self.run_job_in(state, spec, job);
+                    journal.append(job.index as u64, &record.to_json());
+                    *lock_unpoisoned(&slots[i]) = Some(record);
+                });
+            }
         });
-        if interrupted {
-            return None;
+        let mut completed = 0usize;
+        for (job, slot) in pending.iter().zip(slots) {
+            let record = slot
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(record) = record {
+                merged.insert(job.index, record);
+                completed += 1;
+            }
         }
-        for (job, record) in pending.iter().zip(records) {
-            merged.insert(job.index, record);
+        if interrupted || completed < pending.len() {
+            return None;
         }
         debug_assert_eq!(merged.len(), jobs.len());
         Some(SweepReport {
@@ -1362,6 +1686,114 @@ impl EvalEngine {
             jobs: merged.into_values().collect(),
             cache: self.cold_cache_stats_warm(spec),
         })
+    }
+
+    /// Opens a per-request [`EvalSession`] over this engine — the unit
+    /// of isolation digiq-serve gives each client request while the
+    /// engine itself (and its `Arc<ArtifactStore>`) is shared across
+    /// every server worker thread.
+    pub fn session(&self) -> EvalSession<'_> {
+        EvalSession {
+            engine: self,
+            state: SessionState::default(),
+            base: self.cache_stats_in(&SessionState::default()),
+            store_base: self.store.stats(),
+        }
+    }
+}
+
+/// Cooperative run controls for a journaled sweep: an optional
+/// fresh-job budget (the deterministic `--interrupt-after` testing
+/// hook) and an optional external stop flag (how a draining
+/// digiq-serve stops an in-flight sweep between jobs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RunControl<'a> {
+    /// Stop after at most this many fresh (non-resumed) jobs.
+    pub interrupt_after: Option<usize>,
+    /// When set and flipped to `true`, workers stop claiming new jobs;
+    /// jobs already claimed still finish and journal, and the run
+    /// returns `None` if anything was left undone.
+    pub stop: Option<&'a AtomicBool>,
+}
+
+/// Per-request evaluation state over a shared [`EvalEngine`].
+///
+/// digiq-serve shares one engine — one compile cache, one artifact
+/// store — across every worker thread; each client request opens a
+/// session ([`EvalEngine::session`]) so the per-request state that used
+/// to assume a single driving process (compile counters, pass-build
+/// aggregates, cache-stats snapshots, journal handles) is isolated from
+/// every concurrent request, while the artifacts themselves stay shared
+/// build-once in the store (identical in-flight requests coalesce onto
+/// one build).
+#[derive(Debug)]
+pub struct EvalSession<'e> {
+    engine: &'e EvalEngine,
+    state: SessionState,
+    base: CacheStats,
+    store_base: StoreStats,
+}
+
+impl<'e> EvalSession<'e> {
+    /// The shared engine underneath.
+    pub fn engine(&self) -> &'e EvalEngine {
+        self.engine
+    }
+
+    /// [`EvalEngine::run`] charged to this session's counters.
+    pub fn run(&self, spec: &SweepSpec, workers: usize) -> SweepReport {
+        self.engine.run_in(&self.state, spec, workers)
+    }
+
+    /// [`EvalSession::run`] with the report's cache accounting replaced
+    /// by the deterministic cold-run accounting
+    /// ([`EvalEngine::cold_cache_stats`]) — what the server serializes,
+    /// so a response is byte-identical to a fresh `sweep` CLI run of the
+    /// same spec no matter how warm the shared store already is or what
+    /// other requests run concurrently.
+    pub fn run_deterministic(&self, spec: &SweepSpec, workers: usize) -> SweepReport {
+        let mut report = self.engine.run_in(&self.state, spec, workers);
+        report.cache = self.engine.cold_cache_stats_warm(spec);
+        report
+    }
+
+    /// [`EvalEngine::run_cosim`] charged to this session's counters
+    /// (the cosim report carries no cache accounting, so its bytes are
+    /// already independent of store warmth).
+    pub fn run_cosim(&self, spec: &SweepSpec, workers: usize) -> CosimSweepReport {
+        self.engine.run_cosim_in(&self.state, spec, workers)
+    }
+
+    /// [`EvalEngine::run_journaled`] charged to this session, with the
+    /// full [`RunControl`] surface (fresh-job budget plus external stop
+    /// flag).
+    pub fn run_journaled(
+        &self,
+        spec: &SweepSpec,
+        workers: usize,
+        journal: &SweepJournal,
+        resume: bool,
+        ctl: RunControl<'_>,
+    ) -> Option<SweepReport> {
+        self.engine
+            .run_journaled_in(&self.state, spec, workers, journal, resume, ctl)
+    }
+
+    /// Cache accounting since this session opened: compile counters are
+    /// exactly this session's; the store-backed counters are the store
+    /// delta since the session opened (concurrent sessions sharing the
+    /// store bleed into them — per-request exact accounting is what
+    /// [`EvalSession::run_deterministic`] stamps instead).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats_in(&self.state).since(&self.base)
+    }
+
+    /// Per-pass pipeline accounting since this session opened: builds
+    /// and build metrics are exactly this session's; hits/misses are
+    /// the store delta since the session opened.
+    pub fn pass_cache_stats(&self) -> PassCacheStats {
+        self.engine
+            .pass_cache_stats_in(&self.state, Some(&self.store_base))
     }
 }
 
@@ -1631,5 +2063,147 @@ mod tests {
         assert_eq!(warm.cache.compile_misses, 0);
         assert_eq!(warm.cache.total_misses(), 0);
         assert!(warm.cache.total_hits() > 0);
+    }
+
+    #[test]
+    fn sweep_spec_round_trips_through_json() {
+        let mut spec = SweepSpec::smoke()
+            .with_seeds(vec![0, 3, 9_007_199_254_740_991])
+            .with_hardware()
+            .with_pipeline(
+                PipelineConfig::default()
+                    .with_router(RouteStrategy::Lookahead { window: 5 })
+                    .with_scheduler(ScheduleStrategy::Asap),
+            );
+        spec.benchmarks.push(BenchmarkSpec {
+            bench: Benchmark::Ising,
+            scale: BenchScale::Paper,
+        });
+        let text = spec.to_json_string();
+        assert_eq!(SweepSpec::parse(&text), Ok(spec));
+        // The default smoke spec too — this is the wire form the serve
+        // smoke tests replay against the engine golden.
+        let smoke = SweepSpec::smoke();
+        assert_eq!(SweepSpec::parse(&smoke.to_json_string()), Ok(smoke));
+    }
+
+    #[test]
+    fn sweep_spec_from_json_enforces_bounds() {
+        let ok = SweepSpec::smoke().to_json_string();
+        for (mutation, needle) in [
+            (ok.replace("\"seeds\":[0]", "\"seeds\":[]"), "non-empty"),
+            (
+                ok.replace("\"grid_rows\":4", "\"grid_rows\":70000"),
+                "grid out of range",
+            ),
+            (
+                ok.replace("\"groups\":2", "\"groups\":0"),
+                "out of range 1..=4096",
+            ),
+            (ok.replace("\"BV\"", "\"nope\""), "unknown benchmark"),
+            (ok.replace("\"greedy\"", "\"magic\""), "unknown router"),
+            (ok.replace("\"seeds\":[0]", "\"seeds\":[-1]"), "seeds"),
+        ] {
+            let err = SweepSpec::parse(&mutation).expect_err(&mutation);
+            assert!(err.contains(needle), "`{err}` should mention `{needle}`");
+        }
+        assert!(SweepSpec::parse("{nope").is_err());
+    }
+
+    #[test]
+    fn smoke_specs_match_the_cli_smoke_modes() {
+        // The serve tests rely on these constructors enumerating exactly
+        // the jobs the golden files pin.
+        let smoke = SweepSpec::smoke();
+        assert_eq!(smoke.job_count(), 4);
+        assert_eq!((smoke.grid_rows, smoke.grid_cols), (4, 4));
+        assert_eq!(smoke.designs[0].design, ControllerDesign::SfqMimdNaive);
+        assert_eq!(
+            smoke.designs[1].design,
+            ControllerDesign::DigiqOpt { bs: 8 }
+        );
+        let cosim = SweepSpec::cosim_smoke();
+        assert_eq!(cosim.job_count(), 4);
+        assert_eq!(
+            cosim.designs[0].design,
+            ControllerDesign::DigiqMin { bs: 2 }
+        );
+        assert_ne!(smoke.stable_key(), cosim.stable_key());
+    }
+
+    #[test]
+    fn sessions_isolate_counters_over_a_shared_engine() {
+        let engine = EvalEngine::new(CostModel::default());
+        let spec = SweepSpec::smoke();
+        // Warm the shared store through the engine's own root session.
+        let cold = engine.run(&spec, 2);
+        assert!(cold.cache.total_misses() > 0);
+
+        // A fresh session on the warm engine sees its own counters only:
+        // compile lookups are all hits charged to the session, and no
+        // root-session history leaks in.
+        let session = engine.session();
+        let warm = session.run(&spec, 2);
+        assert_eq!(cold.jobs, warm.jobs, "shared cache must not change results");
+        assert_eq!(warm.cache.compile_misses, 0);
+        assert_eq!(session.cache_stats().compile_misses, 0);
+        assert!(session.cache_stats().compile_hits > 0);
+        // Session pass stats: nothing was built by this session.
+        assert!(session
+            .pass_cache_stats()
+            .passes
+            .iter()
+            .all(|p| p.misses == 0));
+
+        // The engine's cumulative root counters are unchanged by the
+        // session's activity on the compile side it owns.
+        let root = engine.cache_stats();
+        assert_eq!(root.compile_misses, cold.cache.compile_misses);
+    }
+
+    #[test]
+    fn run_deterministic_matches_cold_cli_bytes_on_a_warm_engine() {
+        let spec = SweepSpec::smoke();
+        // What the batch CLI prints: a cold engine, golden-pinned bytes.
+        let cli = EvalEngine::new(CostModel::default())
+            .run(&spec, 2)
+            .to_json_string();
+        // A long-lived server engine, already warm from earlier requests.
+        let engine = EvalEngine::new(CostModel::default());
+        engine.run(&spec, 2);
+        let served = engine.session().run_deterministic(&spec, 2);
+        assert_eq!(served.to_json_string(), cli);
+    }
+
+    #[test]
+    fn run_journaled_stops_on_the_stop_flag_and_resumes() {
+        let dir = std::env::temp_dir().join(format!(
+            "digiq-engine-stop-{}-{:x}",
+            std::process::id(),
+            SweepSpec::smoke().stable_key()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = SweepSpec::smoke();
+        let journal = SweepJournal::open(&dir, spec.stable_key()).unwrap();
+
+        // A pre-flipped stop flag: no job is ever claimed, the run
+        // reports interruption, nothing is journaled as complete.
+        let engine = EvalEngine::new(CostModel::default());
+        let stop = AtomicBool::new(true);
+        let ctl = RunControl {
+            interrupt_after: None,
+            stop: Some(&stop),
+        };
+        let session = engine.session();
+        assert_eq!(session.run_journaled(&spec, 2, &journal, false, ctl), None);
+
+        // Resume with the flag clear: the journal fills in and the
+        // merged report is byte-identical to an uninterrupted run.
+        let resumed = session
+            .run_journaled(&spec, 2, &journal, true, RunControl::default())
+            .expect("uninterrupted resume completes");
+        let uninterrupted = EvalEngine::new(CostModel::default()).run(&spec, 2);
+        assert_eq!(resumed.to_json_string(), uninterrupted.to_json_string());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -442,6 +442,7 @@ struct Counters {
     disk_hits: u64,
     builds: u64,
     evictions: u64,
+    coalesced: u64,
 }
 
 const SHARD_COUNT: usize = 16;
@@ -541,7 +542,11 @@ impl ArtifactStore {
     /// was already incremented inside the init closure (before the slot
     /// became visible to eviction), so a concurrent eviction of the
     /// fresh entry can never decrement a count that was not yet added.
-    fn account(&self, ns: &str, initialized: bool, from_disk: bool) {
+    /// `coalesced` marks a hit that arrived while another caller's build
+    /// of the same key was still in flight (the lookup blocked on — or
+    /// raced with — that build instead of running its own); coalesced
+    /// hits are counted inside `hits` too.
+    fn account(&self, ns: &str, initialized: bool, from_disk: bool, coalesced: bool) {
         {
             let mut map = lock_unpoisoned(&self.counters);
             let c = map.entry(ns.to_string()).or_default();
@@ -554,6 +559,9 @@ impl ArtifactStore {
                 }
             } else {
                 c.hits += 1;
+                if coalesced {
+                    c.coalesced += 1;
+                }
             }
         }
         if initialized {
@@ -573,6 +581,7 @@ impl ArtifactStore {
         build: impl FnOnce() -> T,
     ) -> (Arc<T>, bool) {
         let slot = self.slot(ns, key);
+        let pending = slot.get().is_none();
         let mut initialized = false;
         let any = slot
             .get_or_init(|| {
@@ -582,7 +591,7 @@ impl ArtifactStore {
                 value
             })
             .clone();
-        self.account(ns, initialized, false);
+        self.account(ns, initialized, false, pending && !initialized);
         (Self::downcast(ns, any), initialized)
     }
 
@@ -608,6 +617,7 @@ impl ArtifactStore {
         build: impl FnOnce() -> T,
     ) -> (Arc<T>, bool) {
         let slot = self.slot(ns, key);
+        let pending = slot.get().is_none();
         let mut initialized = false;
         let mut from_disk = false;
         let any = slot
@@ -628,7 +638,7 @@ impl ArtifactStore {
                 value
             })
             .clone();
-        self.account(ns, initialized, from_disk);
+        self.account(ns, initialized, from_disk, pending && !initialized);
         (Self::downcast(ns, any), initialized)
     }
 
@@ -747,6 +757,7 @@ impl ArtifactStore {
             disk_hits: c.disk_hits,
             builds: c.builds,
             evictions: c.evictions,
+            coalesced: c.coalesced,
         }
     }
 
@@ -764,6 +775,7 @@ impl ArtifactStore {
                     disk_hits: c.disk_hits,
                     builds: c.builds,
                     evictions: c.evictions,
+                    coalesced: c.coalesced,
                 })
                 .collect(),
             resident: self.resident() as u64,
@@ -775,10 +787,13 @@ impl ArtifactStore {
 // Stats
 // ---------------------------------------------------------------------
 
-/// Counters of one store namespace. Invariant:
+/// Counters of one store namespace. Invariants:
 /// `misses == disk_hits + builds` (a memory miss is satisfied either
-/// from disk or by running the builder).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// from disk or by running the builder) and `coalesced <= hits` (a
+/// coalesced lookup is a hit that arrived while the key's one build was
+/// still in flight — the request-deduplication signal the sweep service
+/// reports).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NamespaceStats {
     /// Namespace name (`circuit`, `stage/route`, …).
     pub namespace: String,
@@ -792,6 +807,8 @@ pub struct NamespaceStats {
     pub builds: u64,
     /// Entries evicted under the capacity bound.
     pub evictions: u64,
+    /// Hits that joined an in-flight build instead of running their own.
+    pub coalesced: u64,
 }
 
 impl ToJson for NamespaceStats {
@@ -803,6 +820,7 @@ impl ToJson for NamespaceStats {
             ("disk_hits", self.disk_hits.to_json()),
             ("builds", self.builds.to_json()),
             ("evictions", self.evictions.to_json()),
+            ("coalesced", self.coalesced.to_json()),
         ])
     }
 }
@@ -822,6 +840,7 @@ impl NamespaceStats {
             disk_hits: j.count_field("disk_hits", CTX)?,
             builds: j.count_field("builds", CTX)?,
             evictions: j.count_field("evictions", CTX)?,
+            coalesced: j.count_field("coalesced", CTX)?,
         })
     }
 }
@@ -864,6 +883,45 @@ impl StoreStats {
                 acc.4 + n.evictions,
             )
         })
+    }
+
+    /// Store-wide coalesced-hit total (lookups that joined an in-flight
+    /// build) — the request-deduplication counter the sweep service's
+    /// smoke check asserts is non-zero under concurrent duplicates.
+    pub fn coalesced_total(&self) -> u64 {
+        self.namespaces.iter().map(|n| n.coalesced).sum()
+    }
+
+    /// Namespace-wise counter difference (`self − earlier`), saturating
+    /// at zero, for snapshotting one request's activity out of a shared
+    /// long-lived store. `resident` is carried over from `self` (it is a
+    /// level, not a counter). Namespaces absent from `earlier` are kept
+    /// whole; namespaces with no activity since `earlier` are dropped.
+    #[must_use]
+    pub fn since(&self, earlier: &StoreStats) -> StoreStats {
+        let namespaces = self
+            .namespaces
+            .iter()
+            .filter_map(|n| {
+                let base = earlier.get(&n.namespace);
+                let sub = |now: u64, before: u64| now.saturating_sub(before);
+                let d = NamespaceStats {
+                    namespace: n.namespace.clone(),
+                    hits: sub(n.hits, base.map_or(0, |b| b.hits)),
+                    misses: sub(n.misses, base.map_or(0, |b| b.misses)),
+                    disk_hits: sub(n.disk_hits, base.map_or(0, |b| b.disk_hits)),
+                    builds: sub(n.builds, base.map_or(0, |b| b.builds)),
+                    evictions: sub(n.evictions, base.map_or(0, |b| b.evictions)),
+                    coalesced: sub(n.coalesced, base.map_or(0, |b| b.coalesced)),
+                };
+                let active = d.hits + d.misses + d.evictions + d.coalesced > 0;
+                active.then_some(d)
+            })
+            .collect();
+        StoreStats {
+            namespaces,
+            resident: self.resident,
+        }
     }
 
     /// Reads the stats back from their [`ToJson`] form.
@@ -1079,7 +1137,62 @@ mod tests {
         assert_eq!(stats.builds, 3);
         assert_eq!(stats.disk_hits, 0);
         assert_eq!(stats.hits, 4 * 8 - 3);
+        assert!(stats.coalesced <= stats.hits);
         assert_eq!(store.resident(), 3);
+    }
+
+    #[test]
+    fn concurrent_lookups_coalesce_onto_one_build() {
+        use std::sync::Barrier;
+        let store = ArtifactStore::in_memory();
+        let entered = Barrier::new(2);
+        let release = Barrier::new(2);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                store.get_or_build("c", 9, || {
+                    entered.wait(); // builder is now mid-flight
+                    release.wait(); // …until the main thread releases it
+                    42u32
+                });
+            });
+            entered.wait();
+            // The build is provably in flight: a second lookup of the
+            // same key must coalesce onto it (block on the slot, never
+            // run its own builder).
+            let waiter =
+                s.spawn(|| *store.get_or_build("c", 9, || -> u32 { unreachable!("coalesced") }));
+            // Give the waiter time to reach the slot, then let the
+            // builder finish.
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            release.wait();
+            assert_eq!(waiter.join().unwrap(), 42);
+        });
+        let stats = store.namespace_stats("c");
+        assert_eq!(stats.builds, 1, "exactly one build");
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.coalesced, 1, "the second lookup coalesced");
+        // A lookup after the build completes is a plain (non-coalesced) hit.
+        store.get_or_build("c", 9, || -> u32 { unreachable!("resident") });
+        let stats = store.namespace_stats("c");
+        assert_eq!((stats.hits, stats.coalesced), (2, 1));
+    }
+
+    #[test]
+    fn stats_since_diffs_namespace_counters() {
+        let store = ArtifactStore::in_memory();
+        store.get_or_build("a", 1, || 1u32);
+        store.get_or_build("b", 1, || 1u32);
+        let base = store.stats();
+        store.get_or_build("a", 1, || 1u32); // hit after the snapshot
+        store.get_or_build("a", 2, || 2u32); // build after the snapshot
+        let delta = store.stats().since(&base);
+        let a = delta.get("a").expect("a was active since the snapshot");
+        assert_eq!((a.hits, a.misses, a.builds), (1, 1, 1));
+        assert!(delta.get("b").is_none(), "b was idle since the snapshot");
+        assert_eq!(delta.resident, 3, "resident is a level, not a counter");
+        // A self-diff is empty.
+        let now = store.stats();
+        assert!(now.since(&now).namespaces.is_empty());
     }
 
     #[test]
@@ -1246,12 +1359,14 @@ mod tests {
         assert_eq!(stats.get("stage/lower").unwrap().hits, 1);
         assert_eq!(stats.resident, 2);
         assert_eq!(stats.totals(), (1, 2, 0, 2, 0));
+        assert_eq!(stats.coalesced_total(), 0);
         let parsed = StoreStats::parse(&stats.to_json_string()).unwrap();
         assert_eq!(parsed, stats);
         assert!(StoreStats::parse("{}").is_err());
-        // misses == disk_hits + builds everywhere.
+        // misses == disk_hits + builds and coalesced <= hits everywhere.
         for n in &stats.namespaces {
             assert_eq!(n.misses, n.disk_hits + n.builds);
+            assert!(n.coalesced <= n.hits);
         }
     }
 

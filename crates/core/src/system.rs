@@ -153,6 +153,22 @@ impl DigiqSystem {
         }
     }
 
+    /// [`DigiqSystem::build_shared`] over a live
+    /// [`crate::engine::EvalEngine`]: the system shares the engine's
+    /// cost model and artifact store, so a one-off system build beside
+    /// a long-lived engine (the digiq-serve daemon inspecting a single
+    /// design point) reuses whatever hardware and sequence databases
+    /// the engine's sweeps already built — and seeds them for the
+    /// sweeps that follow.
+    pub fn build_for_engine(
+        engine: &crate::engine::EvalEngine,
+        design: ControllerDesign,
+        groups: usize,
+        pipeline: PipelineConfig,
+    ) -> Self {
+        DigiqSystem::build_shared(design, groups, engine.model(), pipeline, engine.store())
+    }
+
     /// The compile pass pipeline this system runs.
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
@@ -349,6 +365,24 @@ mod tests {
         // Richer basis never lengthens sequences; both can saturate at
         // the 28-depth cap for Haar-random targets.
         assert!(med4 <= med2, "BS=4 median {med4} > BS=2 median {med2}");
+    }
+
+    #[test]
+    fn build_for_engine_shares_the_engine_store() {
+        let engine = crate::engine::EvalEngine::new(CostModel::default());
+        let design = ControllerDesign::DigiqMin { bs: 2 };
+        let _ = DigiqSystem::build_for_engine(&engine, design, 2, PipelineConfig::default());
+        let _ = DigiqSystem::build_for_engine(&engine, design, 2, PipelineConfig::default());
+        // Both systems fetched through the engine's store: the sequence
+        // database and hardware were each built exactly once.
+        let stats = engine.store_stats();
+        for ns_name in [ns::SEQ_DB, ns::HARDWARE] {
+            let s = stats
+                .get(ns_name)
+                .unwrap_or_else(|| panic!("namespace `{ns_name}` populated"));
+            assert_eq!(s.builds, 1, "{ns_name} built more than once");
+            assert!(s.hits >= 1, "{ns_name} second build missed the store");
+        }
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! The sweep-service daemon.
+//!
+//! Binds a TCP listener, prints one `digiq-serve listening on ADDR`
+//! line to stdout (scripts poll for it; port 0 resolves to the real
+//! port), then serves until a shutdown request drains it.
+//!
+//! Inherits the `digiq_bench::cli` flag family: `--workers N` is the
+//! per-sweep worker budget, and the store flags (`--cache-dir DIR`,
+//! `--store-capacity N`) configure the shared artifact store — with a
+//! cache dir, sweeps are journaled so a drain is resumable after
+//! restart. Bespoke flags: `--addr`, `--eval-workers`,
+//! `--queue-capacity`, and the CI drain hooks `--drain-after` /
+//! `--interrupt-after`.
+
+use digiq_bench::cli::CommonArgs;
+use digiq_core::engine::default_workers;
+use digiq_serve::{serve, ServeConfig};
+use std::io::Write;
+
+fn main() {
+    let args = CommonArgs::parse_for(
+        "serve",
+        &[
+            (
+                "--addr HOST:PORT",
+                "bind address (default 127.0.0.1:0 — a free port)",
+            ),
+            (
+                "--eval-workers N",
+                "requests evaluated concurrently (default 2)",
+            ),
+            (
+                "--queue-capacity N",
+                "bound on queued requests; beyond it clients get Busy (default 16)",
+            ),
+            (
+                "--drain-after N",
+                "testing hook: drain after N evaluation responses",
+            ),
+            (
+                "--interrupt-after N",
+                "testing hook: journaled sweeps stop after N fresh jobs (needs --cache-dir)",
+            ),
+            (
+                "--eval-delay-ms N",
+                "testing hook: stretch fresh evaluations by N ms so coalescing checks are deterministic",
+            ),
+        ],
+        default_workers(),
+    );
+    let parse_count = |flag: &str| {
+        digiq_bench::arg_value(flag).map(|v| {
+            v.parse::<u64>().unwrap_or_else(|_| {
+                eprintln!("error: `{flag}` needs a non-negative integer, got `{v}`");
+                std::process::exit(2);
+            })
+        })
+    };
+    let cfg = ServeConfig {
+        addr: digiq_bench::arg_value("--addr").unwrap_or_else(|| "127.0.0.1:0".to_string()),
+        eval_workers: parse_count("--eval-workers").unwrap_or(2) as usize,
+        sweep_workers: args.workers,
+        queue_capacity: parse_count("--queue-capacity").unwrap_or(16) as usize,
+        store: args.store_config(),
+        drain_after: parse_count("--drain-after"),
+        interrupt_after: parse_count("--interrupt-after").map(|n| n as usize),
+        eval_delay: parse_count("--eval-delay-ms").map(std::time::Duration::from_millis),
+    };
+    let handle = serve(cfg).unwrap_or_else(|e| {
+        eprintln!("error: cannot bind: {e}");
+        std::process::exit(1);
+    });
+    println!("digiq-serve listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("digiq-serve drained");
+}

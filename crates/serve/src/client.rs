@@ -1,0 +1,175 @@
+//! A minimal blocking client for the sweep service (what `loadgen` and
+//! the integration tests drive).
+
+use crate::proto::{read_frame, read_json, write_json, Request, Response};
+use digiq_core::engine::SweepSpec;
+use digiq_core::store::StoreStats;
+use sfq_hw::json::ToJson;
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What an evaluation request came back as.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalOutcome {
+    /// The rendered report — byte-identical to the batch CLI's stdout
+    /// for the same spec.
+    Report(String),
+    /// Refused by admission control; retry later.
+    Busy,
+    /// The server is draining.
+    Draining,
+    /// A draining server stopped the journaled sweep; resend after the
+    /// server restarts to resume.
+    Interrupted,
+    /// Typed server-side failure.
+    Error(String),
+}
+
+/// One connection to a sweep server.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> io::Result<Response> {
+        write_json(&mut self.stream, &request.to_json())?;
+        let j = read_json(&mut self.stream)?;
+        Response::from_json(&j).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a non-pong answer.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Store-wide counters (per-namespace hits / misses / builds /
+    /// coalesced — what the coalescing assertions read).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a non-stats answer.
+    pub fn stats(&mut self) -> io::Result<StoreStats> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Asks the server to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on an unexpected answer.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Draining => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Evaluates an analytic sweep.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures only; protocol-level refusals are
+    /// [`EvalOutcome`] variants.
+    pub fn sweep(&mut self, spec: &SweepSpec, workers: usize) -> io::Result<EvalOutcome> {
+        self.eval(Request::Sweep {
+            spec: spec.clone(),
+            workers,
+        })
+    }
+
+    /// Evaluates a co-simulation sweep.
+    ///
+    /// # Errors
+    ///
+    /// Transport-level failures only.
+    pub fn cosim(&mut self, spec: &SweepSpec, workers: usize) -> io::Result<EvalOutcome> {
+        self.eval(Request::Cosim {
+            spec: spec.clone(),
+            workers,
+        })
+    }
+
+    fn eval(&mut self, request: Request) -> io::Result<EvalOutcome> {
+        match self.round_trip(&request)? {
+            Response::Report { bytes } => {
+                let body = read_frame(&mut self.stream)?;
+                if body.len() as u64 != bytes {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("report header promised {bytes} bytes, got {}", body.len()),
+                    ));
+                }
+                let text = String::from_utf8(body)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+                Ok(EvalOutcome::Report(text))
+            }
+            Response::Busy { .. } => Ok(EvalOutcome::Busy),
+            Response::Draining => Ok(EvalOutcome::Draining),
+            Response::Interrupted => Ok(EvalOutcome::Interrupted),
+            Response::Error(msg) => Ok(EvalOutcome::Error(msg)),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Sends raw bytes down the socket (the protocol-robustness tests
+    /// inject malformed frames with this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the write error.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads the next control frame as a parsed [`Response`] (used after
+    /// [`Client::send_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on an unparsable response.
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let j = read_json(&mut self.stream)?;
+        Response::from_json(&j).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// The underlying stream (tests shut it down mid-request).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+impl Read for Client {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.stream.read(buf)
+    }
+}
+
+fn unexpected(resp: &Response) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("unexpected response: {resp:?}"),
+    )
+}

@@ -1,0 +1,375 @@
+//! The wire protocol of the sweep service: length-prefixed
+//! [`sfq_hw::json`] frames over TCP.
+//!
+//! Every frame is a big-endian `u32` byte length followed by that many
+//! payload bytes; frames above [`MAX_FRAME`] are rejected before any
+//! allocation, so a hostile length prefix cannot balloon the server.
+//! Control payloads are compact JSON objects carrying a `v` protocol
+//! version ([`PROTOCOL_VERSION`]) and a `kind` discriminant; the one
+//! exception is a report body, which follows its [`Response::Report`]
+//! header as a **raw** frame — the server ships the exact bytes the
+//! batch `sweep`/`cosim` CLI would print, never re-rendered, so the
+//! byte-identity guarantee the golden files pin survives the wire by
+//! construction.
+//!
+//! The version discipline mirrors the store's `DISK_FORMAT_VERSION`
+//! (see ROADMAP.md standing constraints): any change to frame layout,
+//! request/response fields, or their semantics bumps
+//! [`PROTOCOL_VERSION`], and a server rejects mismatched requests with
+//! a typed [`Response::Error`] rather than guessing.
+
+use digiq_core::engine::SweepSpec;
+use digiq_core::store::StoreStats;
+use sfq_hw::json::{Json, ToJson};
+use std::io::{self, Read, Write};
+
+/// Version tag carried by every control frame. Bump on any wire-visible
+/// change, in lockstep with the README protocol table.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Upper bound on a single frame's payload (32 MiB) — larger length
+/// prefixes are rejected before allocation.
+pub const MAX_FRAME: usize = 32 << 20;
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads above [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// # Errors
+///
+/// `UnexpectedEof` on a truncated prefix or body, `InvalidData` on a
+/// length above [`MAX_FRAME`], plus any underlying I/O error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut prefix = [0u8; 4];
+    r.read_exact(&mut prefix)?;
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Writes a control frame (a JSON value rendered compactly).
+///
+/// # Errors
+///
+/// Propagates [`write_frame`] errors.
+pub fn write_json(w: &mut impl Write, j: &Json) -> io::Result<()> {
+    write_frame(w, j.render().as_bytes())
+}
+
+/// Reads a control frame and parses it as JSON.
+///
+/// # Errors
+///
+/// Propagates [`read_frame`] errors; `InvalidData` on non-UTF-8 or
+/// malformed JSON.
+pub fn read_json(r: &mut impl Read) -> io::Result<Json> {
+    let payload = read_frame(r)?;
+    let text =
+        std::str::from_utf8(&payload).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    Json::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn versioned(kind: &str, mut fields: Vec<(&'static str, Json)>) -> Json {
+    let mut all = vec![
+        ("v", PROTOCOL_VERSION.to_json()),
+        ("kind", Json::Str(kind.to_string())),
+    ];
+    all.append(&mut fields);
+    Json::obj(all)
+}
+
+fn check_version(j: &Json, ctx: &str) -> Result<(), String> {
+    let v = j.count_field("v", ctx)?;
+    if v != PROTOCOL_VERSION {
+        return Err(format!(
+            "{ctx} protocol version {v} unsupported (this server speaks {PROTOCOL_VERSION})"
+        ));
+    }
+    Ok(())
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Store-wide counters (per-namespace hits/misses/builds/coalesced).
+    Stats,
+    /// Initiate graceful drain: stop admitting work, journal or finish
+    /// what is in flight, then exit.
+    Shutdown,
+    /// Evaluate an analytic sweep.
+    Sweep {
+        /// The sweep definition.
+        spec: SweepSpec,
+        /// Requested worker threads (the server caps this at its own
+        /// per-sweep budget; the report bytes are worker-invariant).
+        workers: usize,
+    },
+    /// Evaluate a co-simulation sweep.
+    Cosim {
+        /// The sweep definition.
+        spec: SweepSpec,
+        /// Requested worker threads (server-capped).
+        workers: usize,
+    },
+}
+
+impl Request {
+    /// Reads a request back from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the version mismatch, unknown kind, or the first
+    /// missing/mistyped field (including [`SweepSpec::from_json`]
+    /// bounds).
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "request";
+        check_version(j, CTX)?;
+        let spec_and_workers = |j: &Json| -> Result<(SweepSpec, usize), String> {
+            let spec = SweepSpec::from_json(j.get("spec").ok_or("request missing `spec`")?)?;
+            let workers = j.count_field("workers", CTX)? as usize;
+            if !(1..=4096).contains(&workers) {
+                return Err(format!(
+                    "request `workers` out of range 1..=4096: {workers}"
+                ));
+            }
+            Ok((spec, workers))
+        };
+        match j.str_field("kind", CTX)? {
+            "ping" => Ok(Request::Ping),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            "sweep" => {
+                let (spec, workers) = spec_and_workers(j)?;
+                Ok(Request::Sweep { spec, workers })
+            }
+            "cosim" => {
+                let (spec, workers) = spec_and_workers(j)?;
+                Ok(Request::Cosim { spec, workers })
+            }
+            other => Err(format!("unknown request kind `{other}`")),
+        }
+    }
+}
+
+impl ToJson for Request {
+    fn to_json(&self) -> Json {
+        match self {
+            Request::Ping => versioned("ping", vec![]),
+            Request::Stats => versioned("stats", vec![]),
+            Request::Shutdown => versioned("shutdown", vec![]),
+            Request::Sweep { spec, workers } => versioned(
+                "sweep",
+                vec![("spec", spec.to_json()), ("workers", workers.to_json())],
+            ),
+            Request::Cosim { spec, workers } => versioned(
+                "cosim",
+                vec![("spec", spec.to_json()), ("workers", workers.to_json())],
+            ),
+        }
+    }
+}
+
+/// One server response. [`Response::Report`] is a header only — the
+/// report body follows as a separate raw frame of exactly `bytes`
+/// bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// [`Request::Ping`] answer.
+    Pong,
+    /// [`Request::Stats`] answer.
+    Stats(StoreStats),
+    /// Evaluation finished; a raw frame with the report JSON follows.
+    Report {
+        /// Length of the raw report frame that follows.
+        bytes: u64,
+    },
+    /// Admission control refused the request: the bounded queue is
+    /// full. Retry later; nothing was evaluated.
+    Busy {
+        /// Requests currently queued (the configured capacity).
+        queued: u64,
+    },
+    /// The server is draining and no longer admits evaluation work.
+    Draining,
+    /// A draining server stopped this journaled sweep between jobs; the
+    /// completed jobs are journaled on disk and a restarted server will
+    /// resume them (`Sweep` again after restart).
+    Interrupted,
+    /// The request could not be served (parse error, version mismatch,
+    /// or an evaluation failure). The connection stays usable.
+    Error(String),
+}
+
+impl Response {
+    /// Reads a response back from its wire form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the version mismatch, unknown kind, or the first
+    /// missing/mistyped field.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        const CTX: &str = "response";
+        check_version(j, CTX)?;
+        match j.str_field("kind", CTX)? {
+            "pong" => Ok(Response::Pong),
+            "stats" => Ok(Response::Stats(StoreStats::from_json(
+                j.get("store").ok_or("response missing `store`")?,
+            )?)),
+            "report" => Ok(Response::Report {
+                bytes: j.count_field("bytes", CTX)?,
+            }),
+            "busy" => Ok(Response::Busy {
+                queued: j.count_field("queued", CTX)?,
+            }),
+            "draining" => Ok(Response::Draining),
+            "interrupted" => Ok(Response::Interrupted),
+            "error" => Ok(Response::Error(j.str_field("message", CTX)?.to_string())),
+            other => Err(format!("unknown response kind `{other}`")),
+        }
+    }
+}
+
+impl ToJson for Response {
+    fn to_json(&self) -> Json {
+        match self {
+            Response::Pong => versioned("pong", vec![]),
+            Response::Stats(stats) => versioned("stats", vec![("store", stats.to_json())]),
+            Response::Report { bytes } => versioned("report", vec![("bytes", bytes.to_json())]),
+            Response::Busy { queued } => versioned("busy", vec![("queued", queued.to_json())]),
+            Response::Draining => versioned("draining", vec![]),
+            Response::Interrupted => versioned("interrupted", vec![]),
+            Response::Error(message) => {
+                versioned("error", vec![("message", Json::Str(message.clone()))])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap(), b"");
+        assert_eq!(
+            read_frame(&mut r).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_are_rejected() {
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&((MAX_FRAME as u32) + 1).to_be_bytes());
+        assert_eq!(
+            read_frame(&mut io::Cursor::new(oversized))
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::InvalidData
+        );
+        // A length prefix promising more bytes than arrive.
+        let mut truncated = Vec::new();
+        truncated.extend_from_slice(&100u32.to_be_bytes());
+        truncated.extend_from_slice(b"short");
+        assert_eq!(
+            read_frame(&mut io::Cursor::new(truncated))
+                .unwrap_err()
+                .kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        let mut w = Vec::new();
+        assert!(write_frame(&mut w, &vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Sweep {
+                spec: SweepSpec::smoke(),
+                workers: 2,
+            },
+            Request::Cosim {
+                spec: SweepSpec::cosim_smoke(),
+                workers: 3,
+            },
+        ] {
+            let j = Json::parse(&req.to_json_string()).unwrap();
+            assert_eq!(Request::from_json(&j), Ok(req));
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Pong,
+            Response::Stats(StoreStats::default()),
+            Response::Report { bytes: 1234 },
+            Response::Busy { queued: 8 },
+            Response::Draining,
+            Response::Interrupted,
+            Response::Error("nope".to_string()),
+        ] {
+            let j = Json::parse(&resp.to_json_string()).unwrap();
+            assert_eq!(Response::from_json(&j), Ok(resp));
+        }
+    }
+
+    #[test]
+    fn version_mismatch_and_garbage_are_typed_errors() {
+        let future = Json::obj([("v", 99u64.to_json()), ("kind", "ping".to_json())]);
+        assert!(Request::from_json(&future)
+            .unwrap_err()
+            .contains("protocol version 99"));
+        let unkinded = Json::obj([("v", PROTOCOL_VERSION.to_json())]);
+        assert!(Request::from_json(&unkinded).is_err());
+        let unknown = Json::obj([
+            ("v", PROTOCOL_VERSION.to_json()),
+            ("kind", "explode".to_json()),
+        ]);
+        assert!(Request::from_json(&unknown)
+            .unwrap_err()
+            .contains("unknown request kind"));
+        let bad_workers = Json::obj([
+            ("v", PROTOCOL_VERSION.to_json()),
+            ("kind", "sweep".to_json()),
+            ("spec", SweepSpec::smoke().to_json()),
+            ("workers", 0u64.to_json()),
+        ]);
+        assert!(Request::from_json(&bad_workers)
+            .unwrap_err()
+            .contains("workers"));
+    }
+}

@@ -19,6 +19,15 @@
 #                                # (second run must report zero pass builds and
 #                                # byte-identical JSON), then interrupt a sweep
 #                                # and prove --resume merges byte-identically
+#   scripts/ci.sh --serve-smoke  # start the digiq-serve daemon on loopback,
+#                                # drive it with loadgen (duplicate concurrent
+#                                # requests must coalesce and every response
+#                                # must match the sweep golden byte-for-byte),
+#                                # then drain mid-sweep and prove a restarted
+#                                # server resumes byte-identically
+#   scripts/ci.sh --bench-json   # run the kernel micro-benchmarks and a
+#                                # loadgen round against a local daemon, and
+#                                # record the numbers in BENCH_<date>.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -113,6 +122,71 @@ store_smoke() {
     echo "store smoke OK (warm start: zero pass builds; resume: byte-identical)"
 }
 
+# wait_for_serve <log>: poll the daemon's stdout for its bound address
+# (port 0 resolves to a free port) and print it.
+wait_for_serve() {
+    local log=$1 addr i
+    for i in $(seq 1 100); do
+        addr=$(sed -n 's/^digiq-serve listening on //p' "$log" 2>/dev/null | head -n1)
+        if [[ -n "$addr" ]]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "digiq-serve did not come up; log:" >&2
+    cat "$log" >&2
+    return 1
+}
+
+# The sweep-service contract: responses byte-identical to the batch CLI
+# golden, identical concurrent requests coalesced onto one evaluation,
+# and graceful drain journaling in-flight sweeps so a restarted server
+# resumes byte-identically.
+serve_smoke() {
+    echo "==> serve smoke: coalescing + golden byte-identity over the wire"
+    local log addr pid dir
+    log=$(mktemp)
+    # --eval-delay-ms widens the (otherwise single-digit-ms) build
+    # window so the duplicate requests deterministically coalesce.
+    ./target/release/serve --workers 2 --eval-delay-ms 150 > "$log" &
+    pid=$!
+    addr=$(wait_for_serve "$log") || { kill "$pid" 2>/dev/null; exit 1; }
+    if ! ./target/release/loadgen --addr "$addr" --clients 2 --requests 2 \
+            --expect tests/golden/engine_smoke.json --assert-coalesced \
+        || ! ./target/release/loadgen --addr "$addr" --clients 1 --requests 1 --cosim \
+            --expect tests/golden/cosim_smoke.json --shutdown; then
+        kill "$pid" 2>/dev/null || true
+        exit 1
+    fi
+    wait "$pid"
+
+    echo "==> serve smoke: drain mid-sweep, restart, resume byte-identically"
+    dir=$(mktemp -d)
+    : > "$log"
+    ./target/release/serve --workers 2 --cache-dir "$dir" \
+        --interrupt-after 1 --drain-after 1 > "$log" &
+    pid=$!
+    addr=$(wait_for_serve "$log") || { kill "$pid" 2>/dev/null; exit 1; }
+    if ! ./target/release/loadgen --addr "$addr" --expect-interrupted; then
+        kill "$pid" 2>/dev/null || true
+        exit 1
+    fi
+    wait "$pid"
+    : > "$log"
+    ./target/release/serve --workers 2 --cache-dir "$dir" > "$log" &
+    pid=$!
+    addr=$(wait_for_serve "$log") || { kill "$pid" 2>/dev/null; exit 1; }
+    if ! ./target/release/loadgen --addr "$addr" --clients 1 --requests 1 \
+            --expect tests/golden/engine_smoke.json --shutdown; then
+        kill "$pid" 2>/dev/null || true
+        exit 1
+    fi
+    wait "$pid"
+    rm -rf "$dir" "$log"
+    echo "serve smoke OK (coalesced, byte-identical, drain-resumable)"
+}
+
 if [[ "${1:-}" == "--engine-smoke" ]]; then
     engine_smoke
 fi
@@ -127,6 +201,31 @@ fi
 
 if [[ "${1:-}" == "--store-smoke" ]]; then
     store_smoke
+fi
+
+if [[ "${1:-}" == "--serve-smoke" ]]; then
+    serve_smoke
+fi
+
+if [[ "${1:-}" == "--bench-json" ]]; then
+    date_tag=$(date +%F)
+    kjson=$(mktemp); ljson=$(mktemp); slog=$(mktemp)
+    echo "==> kernel micro-benchmarks (quick, json)"
+    cargo bench --offline -p digiq-bench --bench kernels -- --quick --json-out "$kjson"
+    echo "==> loadgen against a local serve daemon"
+    ./target/release/serve --workers 2 > "$slog" &
+    serve_pid=$!
+    serve_addr=$(wait_for_serve "$slog") || { kill "$serve_pid" 2>/dev/null; exit 1; }
+    if ! ./target/release/loadgen --addr "$serve_addr" --clients 4 --requests 2 \
+            --json --shutdown > "$ljson"; then
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    wait "$serve_pid"
+    printf '{"date":"%s","kernels":%s,"loadgen":%s}\n' \
+        "$date_tag" "$(cat "$kjson")" "$(cat "$ljson")" > "BENCH_${date_tag}.json"
+    rm -f "$kjson" "$ljson" "$slog"
+    echo "benchmark numbers written to BENCH_${date_tag}.json"
 fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
@@ -144,6 +243,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     pipeline_smoke
     cosim_smoke
     store_smoke
+    serve_smoke
 
     echo "==> examples"
     for e in quickstart design_space_tour parking_frequencies sfq_bloch_trajectory; do
