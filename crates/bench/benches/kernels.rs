@@ -7,12 +7,34 @@
 //! budgets for CI smoke runs; `--json-out FILE` additionally writes the
 //! collected stats as a JSON array (what `scripts/ci.sh --bench-json`
 //! records in `BENCH_<date>.json`).
+//!
+//! Besides wall time, each kernel is run once under
+//! `qsim::counters::counted` to record its deterministic flop and
+//! allocation counts. `--compare FILE` diffs the fresh run against a
+//! committed `BENCH_<date>.json` record: counter regressions are hard
+//! failures (exit 1), wall-time regressions only warn — the CI container
+//! timing is too noisy to gate on.
 
-use digiq_bench::timing::Harness;
+use digiq_bench::timing::{fmt_ns, Harness, Stats};
+use qsim::counters::KernelCounters;
 use sfq_hw::json::{Json, ToJson};
 use std::hint::black_box;
 
-fn bench_expm(h: &mut Harness) {
+/// The timing harness plus one deterministic counter snapshot per kernel.
+struct Bench {
+    h: Harness,
+    counters: Vec<KernelCounters>,
+}
+
+impl Bench {
+    fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        let (_, c) = qsim::counters::counted(|| black_box(f()));
+        self.counters.push(c);
+        self.h.bench(name, f);
+    }
+}
+
+fn bench_expm(h: &mut Bench) {
     let pair = qsim::two_qubit::CoupledTransmons::paper_pair(6.21286, 4.14238);
     let ham = pair.hamiltonian(-1.8);
     h.bench("expm_9x9_propagator", || {
@@ -23,7 +45,7 @@ fn bench_expm(h: &mut Harness) {
     h.bench("uqq_full_pulse", || pair.propagate(black_box(&wf)));
 }
 
-fn bench_bitstream(h: &mut Harness) {
+fn bench_bitstream(h: &mut Bench) {
     use qsim::pulse::{SfqParams, SfqPulseSim};
     let sim = SfqPulseSim::new(qsim::transmon::Transmon::new(6.21286), SfqParams::default());
     let bits = sim.resonant_comb(63);
@@ -41,7 +63,7 @@ fn bench_bitstream(h: &mut Harness) {
     });
 }
 
-fn bench_decomposition(h: &mut Harness) {
+fn bench_decomposition(h: &mut Bench) {
     let basis = calib::opt_decomp::OptBasis::ideal(255);
     let target = qsim::gates::h();
     h.bench("opt_decompose_L2", || {
@@ -54,7 +76,7 @@ fn bench_decomposition(h: &mut Harness) {
     });
 }
 
-fn bench_compile(h: &mut Harness) {
+fn bench_compile(h: &mut Bench) {
     use qcircuit::lower::lower_to_cz;
     use qcircuit::mapping::{route, Layout, RouterConfig};
     use qcircuit::topology::Grid;
@@ -109,7 +131,7 @@ fn bench_compile(h: &mut Harness) {
     );
 }
 
-fn bench_synthesis(h: &mut Harness) {
+fn bench_synthesis(h: &mut Bench) {
     h.bench("synthesize_mux16", || {
         let mut nl = sfq_hw::generators::one_hot_mux(16);
         sfq_hw::passes::synthesize(&mut nl);
@@ -125,35 +147,151 @@ fn bench_synthesis(h: &mut Harness) {
     });
 }
 
+/// One fresh result row: timing stats plus the deterministic counters.
+struct Row {
+    name: String,
+    stats: Stats,
+    counters: KernelCounters,
+}
+
+/// Extracts the kernel rows from a committed benchmark record — either a
+/// full `BENCH_<date>.json` object (`{"kernels": [...]}`) or a bare array
+/// as written by `--json-out`.
+fn baseline_rows(j: &Json) -> Result<&[Json], String> {
+    match j {
+        Json::Arr(items) => Ok(items),
+        Json::Obj(_) => j.arr_field("kernels", "benchmark record"),
+        _ => Err("benchmark record is neither an array nor an object".to_string()),
+    }
+}
+
+/// Diffs the fresh rows against a committed record. Returns `false` (fail)
+/// if any kernel's flop or allocation count exceeds its baseline; wall-time
+/// regressions only print a warning.
+fn compare(rows: &[Row], baseline_path: &str, baseline: &Json) -> bool {
+    let base = match baseline_rows(baseline) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("error: cannot read baseline `{baseline_path}`: {e}");
+            return false;
+        }
+    };
+    println!("\ncomparison vs {baseline_path}:");
+    println!(
+        "{:<32} {:>12} {:>12} {:>8}  counters",
+        "kernel", "base median", "median", "speedup"
+    );
+    let mut ok = true;
+    for row in rows {
+        let Some(b) = base
+            .iter()
+            .find(|b| b.str_field("name", "row") == Ok(row.name.as_str()))
+        else {
+            println!("{:<32} (new kernel, no baseline)", row.name);
+            continue;
+        };
+        let base_median = b.num_field("median_ns", "row").unwrap_or(f64::NAN);
+        let speedup = base_median / row.stats.median_ns;
+        // Counters are exact and deterministic: any increase is a real
+        // regression, not noise. Records predating the counters are
+        // skipped (no fields to compare).
+        let counter_note = match (
+            b.count_field("flops", "row"),
+            b.count_field("allocs", "row"),
+        ) {
+            (Ok(bf), Ok(ba)) => {
+                if row.counters.flops > bf || row.counters.allocs > ba {
+                    ok = false;
+                    format!(
+                        "REGRESSED flops {} -> {}, allocs {} -> {}",
+                        bf, row.counters.flops, ba, row.counters.allocs
+                    )
+                } else {
+                    format!(
+                        "ok (flops {} -> {}, allocs {} -> {})",
+                        bf, row.counters.flops, ba, row.counters.allocs
+                    )
+                }
+            }
+            _ => "baseline has none".to_string(),
+        };
+        println!(
+            "{:<32} {:>12} {:>12} {:>7.2}x  {}",
+            row.name,
+            fmt_ns(base_median),
+            fmt_ns(row.stats.median_ns),
+            speedup,
+            counter_note
+        );
+        if row.stats.median_ns > base_median * 1.5 {
+            eprintln!(
+                "warning: {} wall time regressed {:.2}x (warn-only: timing is noisy in CI)",
+                row.name,
+                row.stats.median_ns / base_median
+            );
+        }
+    }
+    ok
+}
+
 fn main() {
-    let mut h = if digiq_bench::has_flag("--quick") {
-        Harness::quick()
-    } else {
-        Harness::standard()
+    let mut h = Bench {
+        h: if digiq_bench::has_flag("--quick") {
+            Harness::quick()
+        } else {
+            Harness::standard()
+        },
+        counters: Vec::new(),
     };
     bench_expm(&mut h);
     bench_bitstream(&mut h);
     bench_decomposition(&mut h);
     bench_compile(&mut h);
     bench_synthesis(&mut h);
-    println!("\n{} kernels timed.", h.results.len());
+    println!("\n{} kernels timed.", h.h.results.len());
+    let rows: Vec<Row> =
+        h.h.results
+            .iter()
+            .zip(h.counters.iter())
+            .map(|((name, stats), &counters)| Row {
+                name: name.clone(),
+                stats: *stats,
+                counters,
+            })
+            .collect();
     if let Some(path) = digiq_bench::arg_value("--json-out") {
-        let rows = Json::Arr(
-            h.results
-                .iter()
-                .map(|(name, stats)| {
-                    let mut row = vec![("name".to_string(), name.to_json())];
-                    if let Json::Obj(fields) = stats.to_json() {
-                        row.extend(fields);
+        let out = Json::Arr(
+            rows.iter()
+                .map(|row| {
+                    let mut fields = vec![("name".to_string(), row.name.to_json())];
+                    if let Json::Obj(stat_fields) = row.stats.to_json() {
+                        fields.extend(stat_fields);
                     }
-                    Json::Obj(row)
+                    fields.push(("flops".to_string(), row.counters.flops.to_json()));
+                    fields.push(("allocs".to_string(), row.counters.allocs.to_json()));
+                    Json::Obj(fields)
                 })
                 .collect(),
         );
-        std::fs::write(&path, rows.render()).unwrap_or_else(|e| {
+        std::fs::write(&path, out.render()).unwrap_or_else(|e| {
             eprintln!("error: cannot write `{path}`: {e}");
             std::process::exit(1);
         });
         eprintln!("kernel stats written to {path}");
+    }
+    if let Some(path) = digiq_bench::arg_value("--compare") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read `{path}`: {e}");
+            std::process::exit(1);
+        });
+        let baseline = Json::parse(&text).unwrap_or_else(|e| {
+            eprintln!("error: cannot parse `{path}`: {e:?}");
+            std::process::exit(1);
+        });
+        if !compare(&rows, &path, &baseline) {
+            eprintln!("error: deterministic counter regression vs {path}");
+            std::process::exit(1);
+        }
+        println!("bench compare OK vs {path}");
     }
 }

@@ -27,6 +27,10 @@ pub struct Stats {
     pub median_ns: f64,
     /// Mean over all samples.
     pub mean_ns: f64,
+    /// Population standard deviation over the samples — near-zero spread
+    /// distinguishes a stable measurement from one dominated by noise
+    /// (e.g. a slow kernel that landed at one iteration per sample).
+    pub stddev_ns: f64,
     /// Number of timed samples.
     pub samples: usize,
     /// Iterations per sample (calibrated).
@@ -39,9 +43,30 @@ impl ToJson for Stats {
             ("min_ns", self.min_ns.to_json()),
             ("median_ns", self.median_ns.to_json()),
             ("mean_ns", self.mean_ns.to_json()),
+            ("stddev_ns", self.stddev_ns.to_json()),
             ("samples", self.samples.to_json()),
             ("iters_per_sample", self.iters_per_sample.to_json()),
         ])
+    }
+}
+
+impl Stats {
+    /// Reads stats back from their [`ToJson`] form (one row of a
+    /// committed `BENCH_<date>.json` record). `stddev_ns` is optional so
+    /// records written before it existed still parse.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first missing/mistyped field.
+    pub fn from_json(j: &Json) -> Result<Stats, String> {
+        Ok(Stats {
+            min_ns: j.num_field("min_ns", "stats")?,
+            median_ns: j.num_field("median_ns", "stats")?,
+            mean_ns: j.num_field("mean_ns", "stats")?,
+            stddev_ns: j.num_field("stddev_ns", "stats").unwrap_or(0.0),
+            samples: j.count_field("samples", "stats")? as usize,
+            iters_per_sample: j.count_field("iters_per_sample", "stats")?,
+        })
     }
 }
 
@@ -67,6 +92,11 @@ pub struct Harness {
     pub sample_budget: Duration,
     /// Timed samples per kernel.
     pub samples: usize,
+    /// Minimum total iterations across all samples. Slow kernels whose
+    /// calibration lands at one iteration per sample would otherwise be
+    /// summarized from `samples` single shots — the floor spreads at
+    /// least this many iterations over the samples regardless of budget.
+    pub min_total_iters: u64,
     /// Collected results, in run order.
     pub results: Vec<(String, Stats)>,
 }
@@ -78,6 +108,7 @@ impl Harness {
             warm_up: Duration::from_millis(500),
             sample_budget: Duration::from_millis(150),
             samples: 20,
+            min_total_iters: 60,
             results: Vec::new(),
         }
     }
@@ -88,6 +119,7 @@ impl Harness {
             warm_up: Duration::from_millis(50),
             sample_budget: Duration::from_millis(15),
             samples: 10,
+            min_total_iters: 20,
             results: Vec::new(),
         }
     }
@@ -102,7 +134,10 @@ impl Harness {
             warm_iters += 1;
         }
         let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
-        let iters = ((self.sample_budget.as_secs_f64() / per_iter).ceil() as u64).max(1);
+        let floor = self.min_total_iters.div_ceil(self.samples.max(1) as u64);
+        let iters = ((self.sample_budget.as_secs_f64() / per_iter).ceil() as u64)
+            .max(floor)
+            .max(1);
 
         let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
@@ -112,19 +147,27 @@ impl Harness {
             }
             sample_ns.push(t0.elapsed().as_secs_f64() * 1e9 / iters as f64);
         }
-        sample_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sample_ns.sort_by(|a, b| a.total_cmp(b));
+        let mean_ns = sample_ns.iter().sum::<f64>() / sample_ns.len() as f64;
+        let var = sample_ns
+            .iter()
+            .map(|&x| (x - mean_ns) * (x - mean_ns))
+            .sum::<f64>()
+            / sample_ns.len() as f64;
         let stats = Stats {
             min_ns: sample_ns[0],
             median_ns: sample_ns[sample_ns.len() / 2],
-            mean_ns: sample_ns.iter().sum::<f64>() / sample_ns.len() as f64,
+            mean_ns,
+            stddev_ns: var.sqrt(),
             samples: self.samples,
             iters_per_sample: iters,
         };
         println!(
-            "{name:<32} min {:>12}  median {:>12}  mean {:>12}  ({} samples x {} iters)",
+            "{name:<32} min {:>12}  median {:>12}  mean {:>12} ±{:>10}  ({} samples x {} iters)",
             fmt_ns(stats.min_ns),
             fmt_ns(stats.median_ns),
             fmt_ns(stats.mean_ns),
+            fmt_ns(stats.stddev_ns),
             stats.samples,
             stats.iters_per_sample,
         );
@@ -156,13 +199,57 @@ mod tests {
             warm_up: Duration::from_millis(1),
             sample_budget: Duration::from_micros(200),
             samples: 3,
+            min_total_iters: 0,
             results: Vec::new(),
         };
         let s = h.bench("noop_sum", || (0..100u64).sum::<u64>());
         assert!(s.min_ns > 0.0);
         assert!(s.min_ns <= s.median_ns || (s.median_ns - s.min_ns).abs() < 1e3);
+        assert!(s.stddev_ns >= 0.0);
         assert_eq!(h.results.len(), 1);
         assert_eq!(h.results[0].0, "noop_sum");
+    }
+
+    #[test]
+    fn slow_kernels_hit_the_iteration_floor() {
+        // A zero sample budget calibrates to 1 iter/sample; the floor must
+        // still spread min_total_iters over the samples.
+        let mut h = Harness {
+            warm_up: Duration::from_micros(10),
+            sample_budget: Duration::ZERO,
+            samples: 4,
+            min_total_iters: 30,
+            results: Vec::new(),
+        };
+        let s = h.bench("floored", || black_box(1u64 + 1));
+        assert!(
+            s.iters_per_sample >= 8,
+            "floor not applied: {} iters/sample",
+            s.iters_per_sample
+        );
+        assert!(s.iters_per_sample * s.samples as u64 >= 30);
+    }
+
+    #[test]
+    fn stats_round_trip_through_json() {
+        let s = Stats {
+            min_ns: 1.25,
+            median_ns: 2.5,
+            mean_ns: 3.75,
+            stddev_ns: 0.5,
+            samples: 4,
+            iters_per_sample: 5,
+        };
+        let j = Json::parse(&s.to_json_string()).unwrap();
+        assert_eq!(Stats::from_json(&j), Ok(s));
+        // Records written before stddev existed still parse (as 0.0).
+        let legacy = Json::parse(
+            r#"{"min_ns":1,"median_ns":2,"mean_ns":3,"samples":4,"iters_per_sample":5}"#,
+        )
+        .unwrap();
+        let parsed = Stats::from_json(&legacy).unwrap();
+        assert_eq!(parsed.stddev_ns, 0.0);
+        assert_eq!(parsed.iters_per_sample, 5);
     }
 
     #[test]
@@ -184,6 +271,7 @@ mod tests {
             min_ns: 1.0,
             median_ns: 2.0,
             mean_ns: 3.0,
+            stddev_ns: 0.25,
             samples: 4,
             iters_per_sample: 5,
         };

@@ -16,7 +16,7 @@
 use qsim::matrix::CMat;
 use qsim::optimize::nelder_mead;
 use qsim::rng::StdRng;
-use qsim::two_qubit::{CoupledTransmons, DetuningWaveform};
+use qsim::two_qubit::{CoupledTransmons, DetuningWaveform, PropagatorCache};
 use std::f64::consts::PI;
 
 /// A calibrated shared CZ pulse: the detuning waveform every pair receives.
@@ -36,11 +36,15 @@ pub fn calibrate_shared_pulse(pair: &CoupledTransmons, rise_ns: f64, dt_ns: f64)
     let delta = pair.cz_resonance_detuning();
     let t_analytic = 1.0 / (2.0 * 2f64.sqrt() * pair.coupling_ghz);
     let mut best: Option<(f64, DetuningWaveform)> = None;
+    // Every hold time shares the same rise/fall/plateau detuning samples,
+    // so one propagator cache serves the whole scan — each distinct
+    // per-sample Hamiltonian is exponentiated once, not once per hold.
+    let cache = PropagatorCache::new();
     // The rounded edges contribute partial interaction; scan a bracket.
     let mut hold = (t_analytic - rise_ns).max(1.0);
     while hold <= t_analytic + 6.0 {
         let wf = DetuningWaveform::rounded(delta, rise_ns, hold, dt_ns);
-        let uqq = pair.uqq(&wf);
+        let uqq = pair.uqq_with_cache(&wf, &cache);
         let err = cz_error_with_local_1q(&uqq, 1, 4, 0xCA11);
         if best.as_ref().map_or(true, |(e, _)| err < *e) {
             best = Some((err, wf));

@@ -180,25 +180,27 @@ impl SequenceDb {
         self.entries.len() <= 1
     }
 
-    /// Indices of entries near `q` (its cell and the 3⁴ neighbourhood).
-    fn near(&self, q: Su2) -> impl Iterator<Item = u32> + '_ {
+    /// Visits entries near `q` (its cell and the 3⁴ neighbourhood) in the
+    /// same deterministic cell order the decomposition has always used,
+    /// without materializing the 81-cell list per query — the MITM scan
+    /// calls this once per database entry. `f` returns `false` to stop.
+    fn for_each_near(&self, q: Su2, mut f: impl FnMut(u32) -> bool) {
         let (a, b, c, d) = cell_key(q, self.res);
-        let deltas = [-1i16, 0, 1];
-        let mut cells = Vec::with_capacity(81);
-        for &da in &deltas {
-            for &db in &deltas {
-                for &dc in &deltas {
-                    for &dd in &deltas {
-                        cells.push((a + da, b + db, c + dc, d + dd));
+        for da in -1i16..=1 {
+            for db in -1i16..=1 {
+                for dc in -1i16..=1 {
+                    for dd in -1i16..=1 {
+                        if let Some(v) = self.hash.get(&(a + da, b + db, c + dc, d + dd)) {
+                            for &i in v {
+                                if !f(i) {
+                                    return;
+                                }
+                            }
+                        }
                     }
                 }
             }
         }
-        cells
-            .into_iter()
-            .filter_map(move |k| self.hash.get(&k))
-            .flatten()
-            .copied()
     }
 }
 
@@ -223,32 +225,44 @@ pub fn decompose_min(
     assert_eq!((target.rows(), target.cols()), (2, 2));
     let qt = Su2::from_matrix(target);
 
-    let mut best_seq: Vec<u8> = Vec::new();
+    // Track the winning (A, B) entry pair and materialize its index
+    // sequence once, after the scan — candidate improvements used to clone
+    // both halves' sequences on every new best.
+    let mut best_halves: Option<(u32, u32)> = None;
     let mut best_ov = {
         // Identity candidate.
         qt.trace_overlap(Su2::IDENTITY)
     };
 
     // T ≈ A·B (B fires first): B = A⁻¹·T.
-    for (ai, (qa, seq_a)) in db.entries.iter().enumerate() {
+    for (ai, (qa, _)) in db.entries.iter().enumerate() {
         let needed_b = qa.inverse().compose(qt);
-        for bi in db.near(needed_b) {
-            let (qb, seq_b) = &db.entries[bi as usize];
+        db.for_each_near(needed_b, |bi| {
+            let (qb, _) = &db.entries[bi as usize];
             let realized = qa.compose(*qb);
             let ov = realized.trace_overlap(qt);
             if ov > best_ov {
                 best_ov = ov;
-                best_seq = seq_b.clone();
-                best_seq.extend_from_slice(seq_a);
+                best_halves = Some((ai as u32, bi));
                 if err_from_overlap(best_ov) <= err_target * 0.5 {
-                    break;
+                    return false;
                 }
             }
-        }
+            true
+        });
         if err_from_overlap(best_ov) <= err_target * 0.5 && ai > 0 {
             break;
         }
     }
+
+    let best_seq: Vec<u8> = match best_halves {
+        None => Vec::new(),
+        Some((ai, bi)) => {
+            let mut s = db.entries[bi as usize].1.clone();
+            s.extend_from_slice(&db.entries[ai as usize].1);
+            s
+        }
+    };
 
     // Exact scoring with leakage: multiply the true projected blocks.
     let mut m = CMat::identity(2);

@@ -96,24 +96,97 @@ fn rzm(theta: f64) -> CMat {
     qsim::gates::rz(theta)
 }
 
-/// Fidelity of `Rz(φ_out)·M` vs `target` maximized over `φ_out` in closed
-/// form: `max_φ |tr(target†·Rz(φ)·M)| = |(M·target†)₀₀| + |(M·target†)₁₁|`.
-fn fidelity_free_out(m: &CMat, target: &CMat) -> (f64, f64) {
-    let mt = m.matmul(&target.dagger());
-    let a = mt[(0, 0)];
-    let b = mt[(1, 1)];
-    let overlap = a.abs() + b.abs();
-    let mm = m.dagger().matmul(m).trace().re;
+/// Row-major scalar 2×2 product `a·b` — the decomposition scans run
+/// millions of these, so they stay on the stack instead of going through
+/// heap-backed `CMat`s.
+#[inline]
+fn mul2(a: &[C64; 4], b: &[C64; 4]) -> [C64; 4] {
+    [
+        a[0] * b[0] + a[1] * b[2],
+        a[0] * b[1] + a[1] * b[3],
+        a[2] * b[0] + a[3] * b[2],
+        a[2] * b[1] + a[3] * b[3],
+    ]
+}
+
+/// Scales the columns of a row-major 2×2 by a diagonal `(z0, z1)` — i.e.
+/// `a · diag(z0, z1)`.
+#[inline]
+fn col_scale2(a: &[C64; 4], z0: C64, z1: C64) -> [C64; 4] {
+    [a[0] * z0, a[1] * z1, a[2] * z0, a[3] * z1]
+}
+
+/// Fidelity of `Rz(φ_out)·M` vs the target maximized over `φ_out` in
+/// closed form: `max_φ |tr(T†·Rz(φ)·M)| = |(M·T†)₀₀| + |(M·T†)₁₁|`.
+///
+/// `td` is the target's dagger (row-major), hoisted out by the caller.
+/// Returns the fidelity plus the two diagonal entries `a`, `b` of `M·T†`;
+/// the optimal phase `φ = arg(a) − arg(b)` is derived lazily for the
+/// winning candidate only (two `atan2`s per decomposition instead of two
+/// per scan entry).
+#[inline]
+fn fid_free_out2(m: &[C64; 4], td: &[C64; 4]) -> (f64, C64, C64) {
+    let a = m[0] * td[0] + m[1] * td[2];
+    let b = m[2] * td[1] + m[3] * td[3];
+    let overlap = a.abs2().sqrt() + b.abs2().sqrt();
+    let mm = m[0].abs2() + m[1].abs2() + m[2].abs2() + m[3].abs2();
     let fid = ((mm + overlap * overlap) / 6.0).clamp(0.0, 1.0);
-    // Optimal phase: tr = e^{-iφ/2}·a + e^{iφ/2}·b maximized when the two
-    // terms align: φ = arg(a) − arg(b).
-    let phi = a.arg() - b.arg();
-    (fid, phi)
+    (fid, a, b)
+}
+
+/// Precomputed per-basis tables for [`decompose_opt`]: the reachable
+/// angles plus the basis products every scan re-derives — `G·Rz(θ_d)` and
+/// `W(d) = G·Rz(θ_d)·G` for all `n_delays + 1` delay values, as stack 2×2s.
+///
+/// Building the tables is one pass over the delay lattice; decomposing
+/// against prebuilt tables is then allocation-free in the scan loops.
+/// Batched callers (the error model decomposes 24 targets per qubit
+/// against one basis) build the tables once and reuse them —
+/// `digiq_core::error_model` memoizes them through the artifact store's
+/// `calib/memo` namespace.
+#[derive(Debug, Clone)]
+pub struct OptTables {
+    /// θ_d for `d ∈ [0, n_delays]`.
+    thetas: Vec<f64>,
+    /// The 2×2 basis block `G`, row-major.
+    g: [C64; 4],
+    /// `G·Rz(θ_d)` per delay.
+    gz: Vec<[C64; 4]>,
+    /// `W(d) = G·Rz(θ_d)·G` per delay.
+    w: Vec<[C64; 4]>,
+}
+
+impl OptTables {
+    /// Builds the delay tables for a basis.
+    pub fn build(basis: &OptBasis) -> Self {
+        let g = [
+            basis.ubs[(0, 0)],
+            basis.ubs[(0, 1)],
+            basis.ubs[(1, 0)],
+            basis.ubs[(1, 1)],
+        ];
+        let thetas: Vec<f64> = (0..=basis.n_delays).map(|d| basis.theta(d)).collect();
+        let gz: Vec<[C64; 4]> = thetas
+            .iter()
+            .map(|&th| col_scale2(&g, C64::cis(-th / 2.0), C64::cis(th / 2.0)))
+            .collect();
+        let w: Vec<[C64; 4]> = gz.iter().map(|gzd| mul2(gzd, &g)).collect();
+        OptTables { thetas, g, gz, w }
+    }
+
+    /// Number of delay steps `N` (the tables cover `d ∈ [0, N]`).
+    pub fn n_delays(&self) -> usize {
+        self.thetas.len() - 1
+    }
 }
 
 /// Decomposes `target` (2×2 unitary) on the given basis, consuming an
 /// incoming residual `phi_in`, with at most `max_cycles` Ubs firings.
 /// Stops early once `err_target` is met; always returns the best found.
+///
+/// Builds the delay tables on the fly; callers decomposing many targets
+/// against one basis should build [`OptTables`] once and call
+/// [`decompose_opt_with`].
 ///
 /// # Panics
 ///
@@ -125,80 +198,101 @@ pub fn decompose_opt(
     max_cycles: usize,
     err_target: f64,
 ) -> OptDecomposition {
+    decompose_opt_with(
+        &OptTables::build(basis),
+        target,
+        phi_in,
+        max_cycles,
+        err_target,
+    )
+}
+
+/// [`decompose_opt`] against prebuilt delay tables.
+///
+/// # Panics
+///
+/// Panics if `max_cycles == 0` or `target` is not 2×2.
+pub fn decompose_opt_with(
+    tables: &OptTables,
+    target: &CMat,
+    phi_in: f64,
+    max_cycles: usize,
+    err_target: f64,
+) -> OptDecomposition {
     assert!(max_cycles >= 1);
     assert_eq!((target.rows(), target.cols()), (2, 2));
-    let n = basis.n_delays;
-    let g = &basis.ubs;
+    let n = tables.n_delays();
+    let td = [
+        target[(0, 0)].conj(),
+        target[(1, 0)].conj(),
+        target[(0, 1)].conj(),
+        target[(1, 1)].conj(),
+    ];
+    // Incoming boundary diagonal per d0: Rz(θ_{d0} + φ_in).
+    let zin: Vec<(C64, C64)> = tables
+        .thetas
+        .iter()
+        .map(|&th| {
+            let z = th + phi_in;
+            (C64::cis(-z / 2.0), C64::cis(z / 2.0))
+        })
+        .collect();
 
-    let mut best = OptDecomposition {
-        delays: vec![0],
-        phi_in_used: phi_in,
-        phi_out: 0.0,
-        error: f64::INFINITY,
-    };
+    // Best candidate so far: delay tuple + the M·T† diagonal that yields
+    // its φ_out (converted to an angle once, at the end).
+    let mut best_delays = ([0u16; 3], 1u8);
+    let mut best_ab = (C64::ONE, C64::ONE);
+    let mut best_err = f64::INFINITY;
 
     // L = 1: M = G·Rz(θ_{d0} + φ_in).
     for d0 in 0..=n {
-        let m = g.matmul(&rzm(basis.theta(d0) + phi_in));
-        let (fid, phi) = fidelity_free_out(&m, target);
+        let (z0, z1) = zin[d0];
+        let m = col_scale2(&tables.g, z0, z1);
+        let (fid, a, b) = fid_free_out2(&m, &td);
         let err = 1.0 - fid;
-        if err < best.error {
-            best = OptDecomposition {
-                delays: vec![d0 as u16],
-                phi_in_used: phi_in,
-                phi_out: phi,
-                error: err,
-            };
+        if err < best_err {
+            best_delays = ([d0 as u16, 0, 0], 1);
+            best_ab = (a, b);
+            best_err = err;
         }
     }
-    if best.error <= err_target || max_cycles == 1 {
-        return best;
+    let finish = |delays: ([u16; 3], u8), (a, b): (C64, C64), error: f64| OptDecomposition {
+        delays: delays.0[..delays.1 as usize].to_vec(),
+        phi_in_used: phi_in,
+        phi_out: a.arg() - b.arg(),
+        error,
+    };
+    if best_err <= err_target || max_cycles == 1 {
+        return finish(best_delays, best_ab, best_err);
     }
 
-    // L = 2: M = G·Rz(θ_{d1})·G·Rz(θ_{d0}+φ_in). Precompute W(d1) =
-    // G·Rz(θ_{d1})·G once, then right-multiplying by a diagonal is cheap.
-    let w: Vec<CMat> = (0..=n)
-        .map(|d1| g.matmul(&rzm(basis.theta(d1))).matmul(g))
-        .collect();
+    // L = 2: M = W(d1)·Rz(θ_{d0}+φ_in) with W = G·Rz·G prebuilt; the scan
+    // body is a column scale + the closed-form fidelity, nothing else.
     let mut order2: Vec<(usize, usize, f64)> = Vec::new();
-    for (d1, wm) in w.iter().enumerate() {
+    for (d1, wm) in tables.w.iter().enumerate() {
         for d0 in 0..=n {
-            let z = basis.theta(d0) + phi_in;
-            let (z0, z1) = (C64::cis(-z / 2.0), C64::cis(z / 2.0));
-            // M = W · diag(z0, z1): scale columns.
-            let m = CMat::from_slice(
-                2,
-                2,
-                &[
-                    wm[(0, 0)] * z0,
-                    wm[(0, 1)] * z1,
-                    wm[(1, 0)] * z0,
-                    wm[(1, 1)] * z1,
-                ],
-            );
-            let (fid, phi) = fidelity_free_out(&m, target);
+            let (z0, z1) = zin[d0];
+            let m = col_scale2(wm, z0, z1);
+            let (fid, a, b) = fid_free_out2(&m, &td);
             let err = 1.0 - fid;
-            if err < best.error {
-                best = OptDecomposition {
-                    delays: vec![d0 as u16, d1 as u16],
-                    phi_in_used: phi_in,
-                    phi_out: phi,
-                    error: err,
-                };
+            if err < best_err {
+                best_delays = ([d0 as u16, d1 as u16, 0], 2);
+                best_ab = (a, b);
+                best_err = err;
             }
             if max_cycles >= 3 {
                 order2.push((d0, d1, err));
             }
         }
     }
-    if best.error <= err_target || max_cycles == 2 {
-        return best;
+    if best_err <= err_target || max_cycles == 2 {
+        return finish(best_delays, best_ab, best_err);
     }
 
     // L = 3 (the paper: "a subset of gates nearing π rotations … need
     // L = 3"): extend the best L=2 stems, plus a coarse uniform stem grid
     // (the optimal L=3 region need not contain any good L=2 prefix).
-    order2.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    order2.sort_by(|a, b| a.2.total_cmp(&b.2));
     order2.truncate(96);
     for d0 in (0..=n).step_by(8) {
         for d1 in (0..=n).step_by(8) {
@@ -206,63 +300,55 @@ pub fn decompose_opt(
         }
     }
     for &(d0, d1, _) in &order2 {
-        let stem = w[d1].matmul(&rzm(basis.theta(d0) + phi_in));
-        for d2 in 0..=n {
-            let m = g.matmul(&rzm(basis.theta(d2))).matmul(&stem);
-            let (fid, phi) = fidelity_free_out(&m, target);
+        let (z0, z1) = zin[d0];
+        let stem = col_scale2(&tables.w[d1], z0, z1);
+        for (d2, gzd) in tables.gz.iter().enumerate() {
+            let m = mul2(gzd, &stem);
+            let (fid, a, b) = fid_free_out2(&m, &td);
             let err = 1.0 - fid;
-            if err < best.error {
-                best = OptDecomposition {
-                    delays: vec![d0 as u16, d1 as u16, d2 as u16],
-                    phi_in_used: phi_in,
-                    phi_out: phi,
-                    error: err,
-                };
+            if err < best_err {
+                best_delays = ([d0 as u16, d1 as u16, d2 as u16], 3);
+                best_ab = (a, b);
+                best_err = err;
             }
         }
-        if best.error <= err_target {
+        if best_err <= err_target {
             break;
         }
     }
     // Local refinement of the winning tuple: coordinate descent over ±4
     // neighbourhoods (closes the gap the coarse stem grid leaves).
-    if best.delays.len() == 3 {
+    if best_delays.1 == 3 {
         let mut improved = true;
         while improved {
             improved = false;
             for pos in 0..3 {
-                let center = best.delays[pos] as i64;
+                let center = best_delays.0[pos] as i64;
                 for delta in -4i64..=4 {
                     let cand = center + delta;
                     if cand < 0 || cand as usize > n || cand == center {
                         continue;
                     }
-                    let mut delays = best.delays.clone();
+                    let mut delays = best_delays.0;
                     delays[pos] = cand as u16;
-                    let m = {
-                        let mut m = rzm(basis.theta(delays[0] as usize) + phi_in);
-                        m = g.matmul(&m);
-                        for &d in &delays[1..] {
-                            m = g.matmul(&rzm(basis.theta(d as usize))).matmul(&m);
-                        }
-                        m
-                    };
-                    let (fid, phi) = fidelity_free_out(&m, target);
+                    let (z0, z1) = zin[delays[0] as usize];
+                    let mut m = col_scale2(&tables.g, z0, z1);
+                    for &d in &delays[1..] {
+                        m = mul2(&tables.gz[d as usize], &m);
+                    }
+                    let (fid, a, b) = fid_free_out2(&m, &td);
                     let err = 1.0 - fid;
-                    if err < best.error {
-                        best = OptDecomposition {
-                            delays,
-                            phi_in_used: phi_in,
-                            phi_out: phi,
-                            error: err,
-                        };
+                    if err < best_err {
+                        best_delays = (delays, 3);
+                        best_ab = (a, b);
+                        best_err = err;
                         improved = true;
                     }
                 }
             }
         }
     }
-    best
+    finish(best_delays, best_ab, best_err)
 }
 
 /// Reconstructs the 2×2 operation a decomposition realizes (including the

@@ -80,6 +80,12 @@ pub mod ns {
     pub const SEQ_DB: &str = "seq_db";
     /// Measured decomposition-length distributions (in-memory only).
     pub const MIN_LENGTHS: &str = "min_lengths";
+    /// Memoized calibration-search artifacts keyed by exact basis
+    /// content: prebuilt `OptTables` delay products and DigiQ_min
+    /// sequence databases shared across qubits and repeat evaluations
+    /// (in-memory only — cheap to rebuild, expensive to redo per qubit).
+    /// Not part of [`crate::engine::CacheStats`] accounting.
+    pub const CALIB_MEMO: &str = "calib/memo";
     /// Impossible-MIMD baseline executions (persistent).
     pub const BASELINE: &str = "baseline";
     /// Cycle-accurate co-simulation reports (persistent).

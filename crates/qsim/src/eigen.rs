@@ -45,25 +45,147 @@ impl EigH {
 
     /// Applies `f` to each eigenvalue and reassembles `V · diag(f(λ)) · V†`.
     ///
-    /// This is the spectral calculus used for the matrix exponential.
+    /// This is the spectral calculus used for the matrix exponential. The
+    /// triple product is fused into one pass — `out[i][j] = Σ_k (V[i][k] ·
+    /// f(λ_k)) · conj(V[j][k])` over contiguous rows of `V` — so a single
+    /// output matrix is allocated instead of the diag/dagger/two-matmul
+    /// chain of the naive formulation.
     pub fn map_spectrum(&self, mut f: impl FnMut(f64) -> C64) -> CMat {
-        let d = CMat::diag(&self.values.iter().map(|&v| f(v)).collect::<Vec<_>>());
-        self.vectors.matmul(&d).matmul(&self.vectors.dagger())
+        let n = self.values.len();
+        let fv: Vec<C64> = self.values.iter().map(|&v| f(v)).collect();
+        let v = self.vectors.as_slice();
+        let mut out = CMat::zeros(n, n);
+        crate::counters::tally_flops((8 * n * n * n + 6 * n * n) as u64);
+        let od = out.as_mut_slice();
+        // Hot dimensions go through monomorphized cores (same trick as
+        // `CMat::matmul_into`): with `N` a compile-time constant the scaled
+        // row lives on the stack and the k loop fully unrolls. Identical
+        // operation order, bit-for-bit equal output.
+        match n {
+            3 => {
+                map_spectrum_fixed::<3>(&fv, v, od);
+                return out;
+            }
+            4 => {
+                map_spectrum_fixed::<4>(&fv, v, od);
+                return out;
+            }
+            9 => {
+                map_spectrum_fixed::<9>(&fv, v, od);
+                return out;
+            }
+            _ => {}
+        }
+        let mut wrow = vec![C64::ZERO; n];
+        for i in 0..n {
+            let vrow = &v[i * n..(i + 1) * n];
+            for ((w, &vik), &fk) in wrow.iter_mut().zip(vrow.iter()).zip(fv.iter()) {
+                w.re = vik.re * fk.re - vik.im * fk.im;
+                w.im = vik.re * fk.im + vik.im * fk.re;
+            }
+            for (j, o) in od[i * n..(i + 1) * n].iter_mut().enumerate() {
+                let vjrow = &v[j * n..(j + 1) * n];
+                let (mut acc_re, mut acc_im) = (0.0, 0.0);
+                for (&w, &vjk) in wrow.iter().zip(vjrow.iter()) {
+                    acc_re += w.re * vjk.re + w.im * vjk.im;
+                    acc_im += w.im * vjk.re - w.re * vjk.im;
+                }
+                *o = C64::new(acc_re, acc_im);
+            }
+        }
+        out
+    }
+}
+
+/// Fixed-size core of [`EigH::map_spectrum`]: `out[i][j] = Σ_k (V[i][k] ·
+/// fv[k]) · conj(V[j][k])` with the dimension known at compile time. The
+/// loop structure and operation order match the generic path exactly.
+#[inline]
+fn map_spectrum_fixed<const N: usize>(fv: &[C64], v: &[C64], od: &mut [C64]) {
+    let mut wrow = [C64::ZERO; N];
+    for i in 0..N {
+        let vrow = &v[i * N..(i + 1) * N];
+        for ((w, &vik), &fk) in wrow.iter_mut().zip(vrow.iter()).zip(fv.iter()) {
+            w.re = vik.re * fk.re - vik.im * fk.im;
+            w.im = vik.re * fk.im + vik.im * fk.re;
+        }
+        for (j, o) in od[i * N..(i + 1) * N].iter_mut().enumerate() {
+            let vjrow = &v[j * N..(j + 1) * N];
+            let (mut acc_re, mut acc_im) = (0.0, 0.0);
+            for (&w, &vjk) in wrow.iter().zip(vjrow.iter()) {
+                acc_re += w.re * vjk.re + w.im * vjk.im;
+                acc_im += w.im * vjk.re - w.re * vjk.im;
+            }
+            *o = C64::new(acc_re, acc_im);
+        }
     }
 }
 
 /// Off-diagonal Frobenius norm squared (the Jacobi convergence quantity).
 fn off_diag_sq(a: &CMat) -> f64 {
     let n = a.rows();
+    let d = a.as_slice();
     let mut s = 0.0;
     for i in 0..n {
         for j in 0..n {
             if i != j {
-                s += a[(i, j)].abs2();
+                s += d[i * n + j].abs2();
             }
         }
     }
     s
+}
+
+/// Applies the plane rotation to columns `p`, `q` of a row-major `n × n`
+/// buffer: `(a_kp, a_kq) ← (a_kp·c + a_kq·j_qp, −a_kp·s + a_kq·j_qq)`.
+///
+/// The `c`/`s` factors are real (J_pp = c, J_pq = −s), so the update is
+/// hoisted to explicit f64-pair arithmetic with no complex temporaries.
+#[inline]
+fn rotate_columns(
+    data: &mut [C64],
+    n: usize,
+    p: usize,
+    q: usize,
+    c: f64,
+    s: f64,
+    jqp: C64,
+    jqq: C64,
+) {
+    for row in data.chunks_exact_mut(n) {
+        let (akp, akq) = (row[p], row[q]);
+        row[p] = C64::new(
+            akp.re * c + (akq.re * jqp.re - akq.im * jqp.im),
+            akp.im * c + (akq.re * jqp.im + akq.im * jqp.re),
+        );
+        row[q] = C64::new(
+            -akp.re * s + (akq.re * jqq.re - akq.im * jqq.im),
+            -akp.im * s + (akq.re * jqq.im + akq.im * jqq.re),
+        );
+    }
+}
+
+/// Applies the conjugate rotation to rows `p < q`: `A ← J†·A`. The two rows
+/// are split out of the buffer once (`split_at_mut`) so the inner loop runs
+/// over a pair of contiguous slices.
+#[inline]
+fn rotate_rows(data: &mut [C64], n: usize, p: usize, q: usize, c: f64, s: f64, jqp: C64, jqq: C64) {
+    debug_assert!(p < q);
+    let (head, tail) = data.split_at_mut(q * n);
+    let prow = &mut head[p * n..(p + 1) * n];
+    let qrow = &mut tail[..n];
+    let (cqp, cqq) = (jqp.conj(), jqq.conj());
+    for (ap, aq) in prow.iter_mut().zip(qrow.iter_mut()) {
+        let (apk, aqk) = (*ap, *aq);
+        *ap = C64::new(
+            apk.re * c + (aqk.re * cqp.re - aqk.im * cqp.im),
+            apk.im * c + (aqk.re * cqp.im + aqk.im * cqp.re),
+        );
+        *aq = C64::new(
+            -apk.re * s + (aqk.re * cqq.re - aqk.im * cqq.im),
+            -apk.im * s + (aqk.re * cqq.im + aqk.im * cqq.re),
+        );
+    }
 }
 
 /// Computes the eigendecomposition of a complex Hermitian matrix.
@@ -90,21 +212,32 @@ pub fn eigh(a: &CMat) -> EigH {
 
     let scale = m.frobenius_norm().max(1.0);
     let tol = (scale * 1e-15).powi(2) * (n * n) as f64;
+    let thresh = scale * 1e-16;
 
+    let md = m.as_mut_slice();
+    let vd = v.as_mut_slice();
     for _sweep in 0..100 {
-        if off_diag_sq(&m) <= tol {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    off += md[i * n + j].abs2();
+                }
+            }
+        }
+        if off <= tol {
             break;
         }
         for p in 0..n {
             for q in (p + 1)..n {
-                let beta = m[(p, q)];
+                let beta = md[p * n + q];
                 let b = beta.abs();
-                if b <= scale * 1e-16 {
+                if b <= thresh {
                     continue;
                 }
                 let phi = beta.arg();
-                let alpha = m[(p, p)].re;
-                let gamma = m[(q, q)].re;
+                let alpha = md[p * n + p].re;
+                let gamma = md[q * n + q].re;
                 // Real Jacobi angle on the de-phased block: solves
                 // b·(c²−s²) + (γ−α)·c·s = 0, i.e. tan 2θ = 2b/(α−γ).
                 let zeta = (alpha - gamma) / (2.0 * b);
@@ -119,46 +252,33 @@ pub fn eigh(a: &CMat) -> EigH {
                 //   J_pp = c            J_pq = −s
                 //   J_qp = s·e^{−iφ}    J_qq = c·e^{−iφ}
                 let e_m = C64::cis(-phi);
-                let jpp = C64::real(c);
-                let jpq = C64::real(-s);
                 let jqp = e_m * s;
                 let jqq = e_m * c;
 
-                // Columns update: A ← A·J (only columns p and q change).
-                for k in 0..n {
-                    let akp = m[(k, p)];
-                    let akq = m[(k, q)];
-                    m[(k, p)] = akp * jpp + akq * jqp;
-                    m[(k, q)] = akp * jpq + akq * jqq;
-                }
-                // Rows update: A ← J†·A (only rows p and q change).
-                for k in 0..n {
-                    let apk = m[(p, k)];
-                    let aqk = m[(q, k)];
-                    m[(p, k)] = apk * jpp.conj() + aqk * jqp.conj();
-                    m[(q, k)] = apk * jpq.conj() + aqk * jqq.conj();
-                }
-                // Accumulate eigenvectors: V ← V·J.
-                for k in 0..n {
-                    let vkp = v[(k, p)];
-                    let vkq = v[(k, q)];
-                    v[(k, p)] = vkp * jpp + vkq * jqp;
-                    v[(k, q)] = vkp * jpq + vkq * jqq;
-                }
+                crate::counters::tally_flops(48 * n as u64);
+                // A ← A·J (columns p, q), A ← J†·A (rows p, q), V ← V·J.
+                rotate_columns(md, n, p, q, c, s, jqp, jqq);
+                rotate_rows(md, n, p, q, c, s, jqp, jqq);
+                rotate_columns(vd, n, p, q, c, s, jqp, jqq);
             }
         }
     }
 
+    // NaN input never converges (every |A_pq| comparison is false); the
+    // non-finite guard keeps debug builds panic-free so callers can sort
+    // the NaN spectrum out themselves.
     debug_assert!(
-        off_diag_sq(&m) <= tol * 100.0,
+        !off_diag_sq(&m).is_finite() || off_diag_sq(&m) <= tol * 100.0,
         "jacobi did not converge: off = {}",
         off_diag_sq(&m)
     );
 
     // Extract and sort ascending, permuting columns of V accordingly.
+    // `total_cmp` keeps a NaN eigenvalue (pathological input) from
+    // panicking the sort: NaNs order after every finite value.
     let mut order: Vec<usize> = (0..n).collect();
     let vals: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
-    order.sort_by(|&i, &j| vals[i].partial_cmp(&vals[j]).unwrap());
+    order.sort_by(|&i, &j| vals[i].total_cmp(&vals[j]));
 
     let sorted_vals: Vec<f64> = order.iter().map(|&i| vals[i]).collect();
     let sorted_vecs = CMat::from_fn(n, n, |i, j| v[(i, order[j])]);
@@ -257,6 +377,19 @@ mod tests {
         let e = eigh(&h);
         let again = e.map_spectrum(C64::real);
         assert!(again.approx_eq(&h, 1e-10));
+    }
+
+    #[test]
+    fn nan_input_does_not_panic() {
+        // A pathological (non-finite) matrix must come back with a NaN
+        // spectrum, not panic in the eigenvalue sort or the convergence
+        // check — `total_cmp` orders NaN after every finite value.
+        let mut h = CMat::identity(3);
+        h[(0, 1)] = C64::new(f64::NAN, 0.0);
+        h[(1, 0)] = C64::new(f64::NAN, 0.0);
+        let e = eigh(&h);
+        assert_eq!(e.values.len(), 3);
+        assert!(e.values.iter().any(|v| v.is_nan()));
     }
 
     #[test]

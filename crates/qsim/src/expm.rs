@@ -24,19 +24,88 @@
 //! ```
 
 use crate::complex::C64;
-use crate::eigen::eigh;
+use crate::eigen::{eigh, EigH};
 use crate::matrix::CMat;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Upper bound on memoized eigendecompositions; the memo is cleared
+/// wholesale when a new entry would exceed it (a sweep that churns through
+/// more distinct Hamiltonians than this gets cache misses, never wrong
+/// results or unbounded memory).
+const EIGH_MEMO_CAP: usize = 512;
+
+/// Process-wide memo of Hermitian eigendecompositions, keyed by the exact
+/// bit pattern of the input matrix.
+///
+/// Pulse workloads exponentiate the *same* Hamiltonian at many evolution
+/// times (hold-time scans, piecewise-constant waveforms with repeated
+/// samples), and the O(n³)-per-sweep Jacobi iteration dominates each call.
+/// Because the key is the full bitwise contents — not a lossy hash — a hit
+/// returns exactly what [`eigh`] would recompute, so memoization is
+/// invisible to results (bit-for-bit) and only changes wall time.
+fn eigh_memo() -> &'static Mutex<HashMap<Vec<u64>, Arc<EigH>>> {
+    static MEMO: OnceLock<Mutex<HashMap<Vec<u64>, Arc<EigH>>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The exact-content key: dimension followed by every entry's re/im bits.
+fn eigh_key(h: &CMat) -> Vec<u64> {
+    let mut key = Vec::with_capacity(1 + 2 * h.as_slice().len());
+    key.push(h.rows() as u64);
+    for z in h.as_slice() {
+        key.push(z.re.to_bits());
+        key.push(z.im.to_bits());
+    }
+    key
+}
+
+/// Returns the memoized eigendecomposition of `h`, computing it on a miss.
+fn memoized_eigh(h: &CMat) -> Arc<EigH> {
+    let key = eigh_key(h);
+    if let Some(e) = eigh_memo().lock().unwrap().get(&key) {
+        return e.clone();
+    }
+    // Decompose outside the lock: eigh is the expensive part, and a rare
+    // duplicate build is cheaper than serializing every caller through it.
+    let e = Arc::new(eigh(h));
+    let mut memo = eigh_memo().lock().unwrap();
+    if memo.len() >= EIGH_MEMO_CAP {
+        memo.clear();
+    }
+    memo.entry(key).or_insert(e).clone()
+}
+
+/// Empties the process-wide eigendecomposition memo.
+///
+/// Only needed by tests and benchmarks that assert on cold-path behavior
+/// (e.g. the exact allocation counters of an uncached propagator build).
+pub fn clear_eigh_memo() {
+    eigh_memo().lock().unwrap().clear();
+}
+
+/// Number of Hamiltonians currently held in the eigendecomposition memo.
+pub fn eigh_memo_len() -> usize {
+    eigh_memo().lock().unwrap().len()
+}
 
 /// Computes the unitary propagator `U = exp(−i·H·t)` for Hermitian `H`.
 ///
 /// `t` is the evolution time in the same units that make `H·t`
 /// dimensionless (this crate uses angular frequency × seconds).
 ///
+/// The eigendecomposition is memoized process-wide by the exact bitwise
+/// contents of `h` (see [`clear_eigh_memo`]): repeated propagators of the
+/// same Hamiltonian — the dominant pattern in piecewise-constant pulse
+/// simulation and hold-time calibration scans — pay the Jacobi iteration
+/// once and only the spectral reassembly per call. Results are identical
+/// to the uncached path to the bit.
+///
 /// # Panics
 ///
 /// Panics if `h` is not square.
 pub fn expm_hermitian_propagator(h: &CMat, t: f64) -> CMat {
-    let e = eigh(h);
+    let e = memoized_eigh(h);
     e.map_spectrum(|lambda| C64::cis(-lambda * t))
 }
 
@@ -62,18 +131,24 @@ pub fn expm_taylor(a: &CMat) -> CMat {
     };
     let scaled = a.scale(C64::real(1.0 / f64::powi(2.0, s as i32)));
 
+    // The series and the squaring chain ping-pong between `result`/`term`
+    // and one scratch buffer — three allocations total, none per term.
     let mut result = CMat::identity(n);
     let mut term = CMat::identity(n);
+    let mut tmp = CMat::zeros(n, n);
     for k in 1..64 {
-        term = term.matmul(&scaled).scale(C64::real(1.0 / k as f64));
+        term.matmul_into(&scaled, &mut tmp);
+        tmp.scale_in_place(C64::real(1.0 / k as f64));
+        std::mem::swap(&mut term, &mut tmp);
         let tn = term.frobenius_norm();
-        result = &result + &term;
+        result.add_assign(&term);
         if tn < 1e-18 {
             break;
         }
     }
     for _ in 0..s {
-        result = result.matmul(&result);
+        result.matmul_into(&result, &mut tmp);
+        std::mem::swap(&mut result, &mut tmp);
     }
     result
 }

@@ -25,6 +25,46 @@
 use crate::complex::C64;
 use crate::matrix::CMat;
 
+/// `Tr(M†M)` as a direct O(d²) column sum — no dagger/product matrices.
+///
+/// Accumulation order matches the historical `m.dagger().matmul(m).trace()`
+/// chain exactly (diagonal index ascending, inner index ascending, real
+/// part at the end), so results are bitwise-identical to the allocating
+/// path — the golden files depend on that.
+fn trace_mdm(m: &CMat) -> f64 {
+    let n = m.rows();
+    let d = m.as_slice();
+    let mut tr = 0.0;
+    for i in 0..n {
+        let mut di = 0.0;
+        for k in 0..n {
+            let a = d[k * n + i];
+            di += a.re * a.re + a.im * a.im;
+        }
+        tr += di;
+    }
+    tr
+}
+
+/// `Tr(V†M)` as a direct O(d²) column sum (same ordering contract as
+/// [`trace_mdm`]).
+fn trace_vdm(v: &CMat, m: &CMat) -> C64 {
+    let n = m.rows();
+    let (vd, md) = (v.as_slice(), m.as_slice());
+    let mut tr = C64::ZERO;
+    for i in 0..n {
+        let mut di = C64::ZERO;
+        for k in 0..n {
+            let a = vd[k * n + i]; // V†[i][k] = conj(V[k][i])
+            let b = md[k * n + i];
+            di.re += a.re * b.re + a.im * b.im;
+            di.im += a.re * b.im - a.im * b.re;
+        }
+        tr += di;
+    }
+    tr
+}
+
 /// Average gate fidelity of (possibly sub-unitary) evolution `m` against
 /// unitary target `v`, both `d × d`.
 ///
@@ -37,8 +77,8 @@ pub fn average_gate_fidelity(m: &CMat, v: &CMat) -> f64 {
     assert!(m.is_square() && v.is_square());
     assert_eq!(m.rows(), v.rows(), "fidelity: dimension mismatch");
     let d = m.rows() as f64;
-    let mdm = m.dagger().matmul(m).trace().re;
-    let ov = v.dagger().matmul(m).trace().abs2();
+    let mdm = trace_mdm(m);
+    let ov = trace_vdm(v, m).abs2();
     ((mdm + ov) / (d * (d + 1.0))).clamp(0.0, 1.0)
 }
 
@@ -60,7 +100,7 @@ pub fn average_gate_error(m: &CMat, v: &CMat) -> f64 {
 pub fn leakage(m: &CMat) -> f64 {
     assert!(m.is_square());
     let d = m.rows() as f64;
-    (1.0 - m.dagger().matmul(m).trace().re / d).max(0.0)
+    (1.0 - trace_mdm(m) / d).max(0.0)
 }
 
 /// State overlap fidelity `|⟨a|b⟩|²` for pure states.
@@ -82,7 +122,7 @@ pub fn process_fidelity(m: &CMat, v: &CMat) -> f64 {
     assert!(m.is_square() && v.is_square());
     assert_eq!(m.rows(), v.rows());
     let d = m.rows() as f64;
-    (v.dagger().matmul(m).trace().abs2() / (d * d)).clamp(0.0, 1.0)
+    (trace_vdm(v, m).abs2() / (d * d)).clamp(0.0, 1.0)
 }
 
 /// Combines per-gate errors into a circuit error estimate by fidelity
@@ -168,6 +208,31 @@ mod tests {
         let favg = average_gate_fidelity(&m, &v);
         let expect = (d * d * fpro / d + 1.0) / (d + 1.0);
         assert!((favg - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn direct_trace_sums_match_allocating_chain_bitwise() {
+        // The golden files pin decomposition scores that flow through these
+        // traces, so the O(d²) sums must match the dagger/matmul/trace
+        // chain to the last bit, not just approximately.
+        let m = CMat::from_fn(6, 6, |i, j| {
+            C64::new(
+                ((i * 7 + j) as f64 * 0.37).sin(),
+                ((i + 3 * j) as f64 * 0.23).cos(),
+            )
+        });
+        let v = CMat::from_fn(6, 6, |i, j| {
+            C64::new(
+                ((i * 5 + j) as f64 * 0.19).cos(),
+                ((2 * i + j) as f64 * 0.41).sin(),
+            )
+        });
+        let mdm_naive = m.dagger().matmul(&m).trace().re;
+        assert_eq!(trace_mdm(&m).to_bits(), mdm_naive.to_bits());
+        let ov_naive = v.dagger().matmul(&m).trace();
+        let ov = trace_vdm(&v, &m);
+        assert_eq!(ov.re.to_bits(), ov_naive.re.to_bits());
+        assert_eq!(ov.im.to_bits(), ov_naive.im.to_bits());
     }
 
     #[test]

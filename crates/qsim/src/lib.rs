@@ -4,7 +4,9 @@
 //! *physically model* superconducting qubits under SFQ control, built from
 //! scratch with no external linear-algebra dependencies:
 //!
-//! * [`complex`] / [`matrix`] — complex arithmetic and small dense matrices;
+//! * [`complex`] / [`matrix`] — complex arithmetic and small dense matrices
+//!   with allocation-free in-place kernels ([`counters`] tallies their
+//!   flops/allocations deterministically for perf regression tests);
 //! * [`eigen`] / [`expm`] — Hermitian eigendecomposition (Jacobi) and
 //!   matrix exponentials for exact piecewise-constant propagation;
 //! * [`gates`] — ideal gate targets, ZYZ/paper-form Euler decomposition,
@@ -42,6 +44,7 @@
 //! ```
 
 pub mod complex;
+pub mod counters;
 pub mod eigen;
 pub mod expm;
 pub mod fidelity;

@@ -19,6 +19,7 @@
 //! ```
 
 use crate::complex::C64;
+use crate::counters;
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
 
@@ -34,9 +35,33 @@ pub struct CMat {
     data: Vec<C64>,
 }
 
+/// Fixed-size core of [`CMat::matmul_into`] for `N × N` operands.
+///
+/// Same i-k-j order and f64-pair multiply-adds as the generic loop — the
+/// results are bit-for-bit identical — but with `N` a compile-time constant
+/// the k/j loops fully unroll and the output row lives in registers.
+#[inline]
+fn matmul_fixed<const N: usize>(a: &[C64], b: &[C64], out: &mut [C64]) {
+    for i in 0..N {
+        let arow = &a[i * N..i * N + N];
+        let orow = &mut out[i * N..i * N + N];
+        orow.fill(C64::ZERO);
+        for k in 0..N {
+            let (ar, ai) = (arow[k].re, arow[k].im);
+            let brow = &b[k * N..k * N + N];
+            for (o, r) in orow.iter_mut().zip(brow.iter()) {
+                let (rr, ri) = (r.re, r.im);
+                o.re += ar * rr - ai * ri;
+                o.im += ar * ri + ai * rr;
+            }
+        }
+    }
+}
+
 impl CMat {
     /// Creates a `rows × cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        counters::tally_alloc();
         CMat {
             rows,
             cols,
@@ -67,6 +92,7 @@ impl CMat {
             rows,
             cols
         );
+        counters::tally_alloc();
         CMat {
             rows,
             cols,
@@ -81,6 +107,7 @@ impl CMat {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_real(rows: usize, cols: usize, data: &[f64]) -> Self {
         assert_eq!(data.len(), rows * cols);
+        counters::tally_alloc();
         CMat {
             rows,
             cols,
@@ -133,33 +160,151 @@ impl CMat {
         &self.data
     }
 
+    /// Mutable row-major view of the underlying storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [C64] {
+        &mut self.data
+    }
+
     /// Matrix product `self · rhs`.
+    ///
+    /// Every entry participates unconditionally — there is no zero-skip
+    /// fast path — so IEEE non-finite semantics hold (`0 · ∞` and `0 · NaN`
+    /// produce NaN) and the running time depends only on the shapes.
     ///
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
     pub fn matmul(&self, rhs: &CMat) -> CMat {
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// Writes `self · rhs` into `out` without allocating.
+    ///
+    /// `out` is overwritten (it may hold anything, but must not alias the
+    /// operands — the borrow checker enforces that). The i-k-j loop order
+    /// streams `rhs` rows for row-major locality, and the inner loop is
+    /// expressed as explicit f64-pair multiply-adds the autovectorizer can
+    /// split into re/im lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree or `out` has the wrong shape.
+    pub fn matmul_into(&self, rhs: &CMat, out: &mut CMat) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = CMat::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: streams rhs rows, good locality for row-major.
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.rows, rhs.cols),
+            "matmul_into: output is {}x{}, expected {}x{}",
+            out.rows,
+            out.cols,
+            self.rows,
+            rhs.cols
+        );
+        counters::tally_flops(8 * (self.rows * self.cols * rhs.cols) as u64);
+        let inner = self.cols;
+        let n = rhs.cols;
+        if n == 0 {
+            return;
+        }
+        // The hot shapes (3×3 transmon frames, 4×4 computational blocks,
+        // 9×9 two-qubit propagators) go through monomorphized cores where
+        // the loop bounds are compile-time constants: the optimizer keeps
+        // the whole output row in registers across the k loop instead of
+        // round-tripping through memory. Identical accumulation order to
+        // the generic loop below, so results are bit-for-bit equal.
+        if self.rows == n && inner == n {
+            match n {
+                2 => return matmul_fixed::<2>(&self.data, &rhs.data, &mut out.data),
+                3 => return matmul_fixed::<3>(&self.data, &rhs.data, &mut out.data),
+                4 => return matmul_fixed::<4>(&self.data, &rhs.data, &mut out.data),
+                9 => return matmul_fixed::<9>(&self.data, &rhs.data, &mut out.data),
+                _ => {}
+            }
+        }
         for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a.re == 0.0 && a.im == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in orow.iter_mut().zip(rrow.iter()) {
-                    *o += a * r;
+            let arow = &self.data[i * inner..(i + 1) * inner];
+            let orow = &mut out.data[i * n..(i + 1) * n];
+            orow.fill(C64::ZERO);
+            for (k, &a) in arow.iter().enumerate() {
+                let (ar, ai) = (a.re, a.im);
+                let rrow = &rhs.data[k * n..(k + 1) * n];
+                for (o, r) in orow.iter_mut().zip(rrow.iter()) {
+                    let (rr, ri) = (r.re, r.im);
+                    o.re += ar * rr - ai * ri;
+                    o.im += ar * ri + ai * rr;
                 }
             }
         }
-        out
+    }
+
+    /// Writes `A†` into `out` (shape `cols × rows`) without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong shape.
+    pub fn dagger_into(&self, out: &mut CMat) {
+        assert_eq!(
+            (out.rows, out.cols),
+            (self.cols, self.rows),
+            "dagger_into: output is {}x{}, expected {}x{}",
+            out.rows,
+            out.cols,
+            self.cols,
+            self.rows
+        );
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * out.cols + i] = self.data[i * self.cols + j].conj();
+            }
+        }
+    }
+
+    /// Copies `src`'s entries into `self` without reallocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn copy_from(&mut self, src: &CMat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "copy_from: shape mismatch"
+        );
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Scales every entry by `s` in place.
+    pub fn scale_in_place(&mut self, s: C64) {
+        let (sr, si) = (s.re, s.im);
+        for z in &mut self.data {
+            let (zr, zi) = (z.re, z.im);
+            z.re = zr * sr - zi * si;
+            z.im = zr * si + zi * sr;
+        }
+    }
+
+    /// Entry-wise sum `self += other` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn add_assign(&mut self, other: &CMat) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "add_assign: shape mismatch"
+        );
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
+            a.re += b.re;
+            a.im += b.im;
+        }
     }
 
     /// Conjugate transpose `A†`.
@@ -186,6 +331,7 @@ impl CMat {
 
     /// Entry-wise complex conjugate.
     pub fn conj(&self) -> CMat {
+        counters::tally_alloc();
         CMat {
             rows: self.rows,
             cols: self.cols,
@@ -195,6 +341,7 @@ impl CMat {
 
     /// Scales every entry by a complex factor.
     pub fn scale(&self, s: C64) -> CMat {
+        counters::tally_alloc();
         CMat {
             rows: self.rows,
             cols: self.cols,
@@ -279,13 +426,30 @@ impl CMat {
     ///
     /// Panics if `v.len() != self.cols()`.
     pub fn apply(&self, v: &[C64]) -> Vec<C64> {
-        assert_eq!(v.len(), self.cols, "apply: vector length mismatch");
+        counters::tally_alloc();
         let mut out = vec![C64::ZERO; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v.iter()).map(|(&a, &x)| a * x).sum();
-        }
+        self.apply_into(v, &mut out);
         out
+    }
+
+    /// Writes `A·v` into `out` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()` or `out.len() != self.rows()`.
+    pub fn apply_into(&self, v: &[C64], out: &mut [C64]) {
+        assert_eq!(v.len(), self.cols, "apply: vector length mismatch");
+        assert_eq!(out.len(), self.rows, "apply_into: output length mismatch");
+        counters::tally_flops(8 * (self.rows * self.cols) as u64);
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            let (mut acc_re, mut acc_im) = (0.0, 0.0);
+            for (&a, &x) in row.iter().zip(v.iter()) {
+                acc_re += a.re * x.re - a.im * x.im;
+                acc_im += a.re * x.im + a.im * x.re;
+            }
+            *o = C64::new(acc_re, acc_im);
+        }
     }
 
     /// Extracts the leading `dim × dim` block (projection onto the lowest
@@ -395,6 +559,7 @@ impl Add for &CMat {
     type Output = CMat;
     fn add(self, rhs: &CMat) -> CMat {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        counters::tally_alloc();
         CMat {
             rows: self.rows,
             cols: self.cols,
@@ -412,6 +577,7 @@ impl Sub for &CMat {
     type Output = CMat;
     fn sub(self, rhs: &CMat) -> CMat {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        counters::tally_alloc();
         CMat {
             rows: self.rows,
             cols: self.cols,
@@ -514,6 +680,43 @@ mod tests {
         // Anticommutation {X, Z} = 0
         let anti = &x.matmul(&z) + &z.matmul(&x);
         assert!(anti.approx_eq(&CMat::zeros(2, 2), 1e-15));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_and_inf() {
+        // 0·∞ must yield NaN. The retired zero-skip fast path silently
+        // dropped non-finite entries multiplied by exact zeros, hiding
+        // divergent Hamiltonians; the semantics are pinned here.
+        let a = pauli_x();
+        let b = CMat::from_real(2, 2, &[f64::INFINITY, 0.0, 0.0, 1.0]);
+        let p = a.matmul(&b);
+        assert!(p[(1, 0)].re.is_infinite(), "1·∞ must stay ∞");
+        assert!(p[(0, 0)].re.is_nan(), "0·∞ must yield NaN, not be skipped");
+        let nan = CMat::from_real(2, 2, &[f64::NAN, 0.0, 0.0, 0.0]);
+        let q = CMat::zeros(2, 2).matmul(&nan);
+        assert!(q[(0, 0)].re.is_nan(), "0·NaN must yield NaN");
+    }
+
+    #[test]
+    fn in_place_kernels_match_allocating_ops() {
+        let x = pauli_x();
+        let y = pauli_y();
+        let mut out = CMat::zeros(2, 2);
+        x.matmul_into(&y, &mut out);
+        assert_eq!(out, x.matmul(&y));
+        y.dagger_into(&mut out);
+        assert_eq!(out, y.dagger());
+        let mut s = x.clone();
+        s.add_assign(&y);
+        assert_eq!(s, &x + &y);
+        s.copy_from(&x);
+        assert_eq!(s, x);
+        s.scale_in_place(C64::new(0.5, -1.5));
+        assert_eq!(s, x.scale(C64::new(0.5, -1.5)));
+        let v = [C64::ONE, C64::I];
+        let mut w = [C64::ZERO; 2];
+        x.apply_into(&v, &mut w);
+        assert_eq!(w.to_vec(), x.apply(&v));
     }
 
     #[test]

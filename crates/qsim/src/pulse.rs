@@ -99,11 +99,18 @@ impl SfqPulseSim {
     }
 
     /// Lab-frame unitary of a bitstream (earliest bit applied first).
+    ///
+    /// The per-tick products ping-pong between the accumulator and one
+    /// scratch matrix, so a 253-tick stream costs two allocations instead
+    /// of one per tick.
     pub fn lab_gate(&self, bits: &[bool]) -> CMat {
-        let mut u = CMat::identity(self.transmon.levels);
+        let n = self.transmon.levels;
+        let mut u = CMat::identity(n);
+        let mut tmp = CMat::zeros(n, n);
         for &b in bits {
             let step = if b { &self.free_kick } else { &self.free };
-            u = step.matmul(&u);
+            step.matmul_into(&u, &mut tmp);
+            std::mem::swap(&mut u, &mut tmp);
         }
         u
     }
@@ -173,10 +180,12 @@ impl SfqPulseSim {
     pub fn bloch_trajectory(&self, bits: &[bool]) -> Vec<(f64, f64, f64)> {
         let mut state = vec![C64::ZERO; self.transmon.levels];
         state[0] = C64::ONE;
+        let mut scratch = state.clone();
         let mut out = Vec::with_capacity(bits.len());
         for &b in bits {
             let step = if b { &self.free_kick } else { &self.free };
-            state = step.apply(&state);
+            step.apply_into(&state, &mut scratch);
+            std::mem::swap(&mut state, &mut scratch);
             let c0 = state[0];
             let c1 = state[1];
             let cross = c0.conj() * c1;

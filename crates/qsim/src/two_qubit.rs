@@ -29,7 +29,9 @@ use crate::complex::C64;
 use crate::expm::expm_hermitian_propagator;
 use crate::matrix::CMat;
 use crate::transmon::Transmon;
+use std::collections::HashMap;
 use std::f64::consts::PI;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of levels per transmon in the two-qubit model. Three levels
 /// suffice to capture the |20⟩ state that mediates the CZ interaction and
@@ -89,9 +91,13 @@ impl DetuningWaveform {
             deltas.push(delta_ghz * 0.5 * (1.0 - (PI * x).cos()));
         }
         deltas.extend(std::iter::repeat(delta_ghz).take(nh));
-        for k in 0..nr {
-            let x = (k as f64 + 0.5) / nr as f64;
-            deltas.push(delta_ghz * 0.5 * (1.0 + (PI * x).cos()));
+        // The raised-cosine fall is the rise mirrored in time; copying the
+        // stored rise samples (rather than re-evaluating the cosine) makes
+        // the symmetry exact to the bit, so the propagator memo in
+        // `propagate` reuses every edge sample instead of recomputing an
+        // expm for each fall step.
+        for k in (0..nr).rev() {
+            deltas.push(deltas[k]);
         }
         DetuningWaveform { dt_ns, deltas }
     }
@@ -210,21 +216,95 @@ impl CoupledTransmons {
         })
     }
 
+    /// The exact-content identity of this pair for the process-wide
+    /// propagator cache registry: every physical parameter's bit pattern.
+    fn cache_key(&self) -> [u64; 5] {
+        [
+            self.q1.frequency_ghz.to_bits(),
+            self.q1.anharmonicity_ghz.to_bits(),
+            self.q2.frequency_ghz.to_bits(),
+            self.q2.anharmonicity_ghz.to_bits(),
+            self.coupling_ghz.to_bits(),
+        ]
+    }
+
+    /// The process-wide step-propagator cache for this pair's exact
+    /// physical parameters (created on first use).
+    ///
+    /// [`CoupledTransmons::propagate`] routes through this registry so that
+    /// repeated propagation of the same pair — pulse sweeps, calibration
+    /// scans, benchmarks — reuses every step propagator across calls
+    /// without the caller having to thread a [`PropagatorCache`] through.
+    /// Keys are exact bit patterns, so two pairs share a cache only when
+    /// they are physically identical; the registry is cleared wholesale if
+    /// more than 32 distinct pairs accumulate.
+    pub fn shared_cache(&self) -> Arc<PropagatorCache> {
+        static REGISTRY: OnceLock<Mutex<HashMap<[u64; 5], Arc<PropagatorCache>>>> = OnceLock::new();
+        let registry = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = registry.lock().unwrap();
+        if map.len() >= 32 && !map.contains_key(&self.cache_key()) {
+            map.clear();
+        }
+        map.entry(self.cache_key()).or_default().clone()
+    }
+
     /// Propagates the pair through a detuning waveform and returns the
     /// rotating-frame evolution `Uqq = R(T)† · U_lab` (9×9 unitary).
+    ///
+    /// Step propagators are memoized by the exact bit pattern of the
+    /// detuning — in the pair's [`CoupledTransmons::shared_cache`], so the
+    /// memo persists across calls — and a symmetric pulse (rise mirrored
+    /// into the fall, long plateau) costs one `expm` per *distinct* sample,
+    /// not per sample; the per-step products ping-pong between two reused
+    /// buffers.
     pub fn propagate(&self, waveform: &DetuningWaveform) -> CMat {
-        let mut u = CMat::identity(self.dim());
-        let mut last_delta = f64::NAN;
-        let mut step = CMat::identity(self.dim());
+        self.propagate_with_cache(waveform, &self.shared_cache())
+    }
+
+    /// [`CoupledTransmons::propagate`] with a caller-owned step-propagator
+    /// cache, for workloads that sweep many waveforms sharing samples
+    /// (e.g. a CZ hold-time calibration scan). The cache is only valid for
+    /// one physical pair — key it per `CoupledTransmons` instance.
+    pub fn propagate_with_cache(
+        &self,
+        waveform: &DetuningWaveform,
+        cache: &PropagatorCache,
+    ) -> CMat {
+        let d = self.dim();
+        let mut u = CMat::identity(d);
+        let mut tmp = CMat::zeros(d, d);
+        let mut last: Option<(u64, Arc<CMat>)> = None;
         for &delta in &waveform.deltas {
-            if delta != last_delta {
-                step =
-                    expm_hermitian_propagator(&self.hamiltonian(delta), 2.0 * PI * waveform.dt_ns);
-                last_delta = delta;
-            }
-            u = step.matmul(&u);
+            let bits = delta.to_bits();
+            let step: Arc<CMat> = match &last {
+                Some((b, s)) if *b == bits => s.clone(),
+                _ => {
+                    let s = cache.get_or_build(bits, waveform.dt_ns, || {
+                        expm_hermitian_propagator(
+                            &self.hamiltonian(delta),
+                            2.0 * PI * waveform.dt_ns,
+                        )
+                    });
+                    last = Some((bits, s.clone()));
+                    s
+                }
+            };
+            step.matmul_into(&u, &mut tmp);
+            std::mem::swap(&mut u, &mut tmp);
         }
-        self.frame(waveform.duration_ns()).dagger().matmul(&u)
+        // R(T) is diagonal by construction, so R†·U is a per-row scaling by
+        // conj(R[i][i]) — O(d²) instead of a dagger allocation and a matmul.
+        let r = self.frame(waveform.duration_ns());
+        let (rd, ud) = (r.as_slice(), u.as_mut_slice());
+        for i in 0..d {
+            let s = rd[i * d + i].conj();
+            for z in &mut ud[i * d..(i + 1) * d] {
+                let (zr, zi) = (z.re, z.im);
+                z.re = s.re * zr - s.im * zi;
+                z.im = s.re * zi + s.im * zr;
+            }
+        }
+        u
     }
 
     /// Projects a 9×9 evolution onto the 4-dimensional computational
@@ -237,6 +317,60 @@ impl CoupledTransmons {
     /// Convenience: propagate and project in one call.
     pub fn uqq(&self, waveform: &DetuningWaveform) -> CMat {
         self.computational_block(&self.propagate(waveform))
+    }
+
+    /// [`CoupledTransmons::uqq`] with a caller-owned propagator cache (see
+    /// [`CoupledTransmons::propagate_with_cache`]).
+    pub fn uqq_with_cache(&self, waveform: &DetuningWaveform, cache: &PropagatorCache) -> CMat {
+        self.computational_block(&self.propagate_with_cache(waveform, cache))
+    }
+}
+
+/// Memo of piecewise-constant step propagators, keyed by the exact bit
+/// patterns of `(delta_ghz, dt_ns)`.
+///
+/// Each entry is `exp(−i·H(δ)·2π·dt)` for one physical pair; scope a cache
+/// per [`CoupledTransmons`] instance (the key does not include the pair's
+/// frequencies). Shared behind a `Mutex` so a calibration scan can be
+/// parallelized over `std::thread::scope` workers without duplicating
+/// `expm` work.
+#[derive(Debug, Default)]
+pub struct PropagatorCache {
+    steps: Mutex<HashMap<(u64, u64), Arc<CMat>>>,
+}
+
+impl PropagatorCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct `(delta, dt)` propagators built so far.
+    pub fn len(&self) -> usize {
+        self.steps.lock().unwrap().len()
+    }
+
+    /// Returns `true` if no propagator has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn get_or_build(&self, delta_bits: u64, dt_ns: f64, build: impl FnOnce() -> CMat) -> Arc<CMat> {
+        let key = (delta_bits, dt_ns.to_bits());
+        if let Some(step) = self.steps.lock().unwrap().get(&key) {
+            return step.clone();
+        }
+        // Built outside the lock: expm is the expensive part, and a rare
+        // duplicate build is cheaper than holding the mutex through it.
+        let step = Arc::new(build());
+        let mut steps = self.steps.lock().unwrap();
+        // Bound the memo: a sweep over thousands of distinct amplitudes
+        // degrades to cache misses instead of unbounded growth (each 9×9
+        // entry is ~1.3 KB). Clearing never changes results, only timing.
+        if steps.len() >= 1024 {
+            steps.clear();
+        }
+        steps.entry(key).or_insert(step).clone()
     }
 }
 
@@ -349,6 +483,34 @@ mod tests {
 
         let scaled = r.scaled(1.01);
         assert!((scaled.deltas[30] - r.deltas[30] * 1.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rounded_fall_mirrors_rise_bitwise() {
+        // The fall edge must be the rise edge reversed *to the bit* — the
+        // propagator memo keys on f64 bit patterns, so an ulp of asymmetry
+        // would silently double the expm count.
+        let r = DetuningWaveform::rounded(-1.82048, 4.0, 35.0, 0.5);
+        let n = r.deltas.len();
+        for k in 0..8 {
+            assert_eq!(r.deltas[k].to_bits(), r.deltas[n - 1 - k].to_bits());
+        }
+    }
+
+    #[test]
+    fn cached_propagation_matches_uncached() {
+        let p = pair();
+        let wf = DetuningWaveform::rounded(p.cz_resonance_detuning(), 4.0, 20.0, 0.5);
+        let cache = PropagatorCache::new();
+        let u1 = p.propagate_with_cache(&wf, &cache);
+        let distinct = cache.len();
+        // 8 distinct rise samples + 1 plateau value, for 56 samples total.
+        assert_eq!(distinct, 9);
+        assert_eq!(u1, p.propagate(&wf));
+        // A second pass builds nothing new and reproduces the result.
+        let u3 = p.propagate_with_cache(&wf, &cache);
+        assert_eq!(cache.len(), distinct);
+        assert_eq!(u1, u3);
     }
 
     #[test]

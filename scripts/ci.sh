@@ -28,6 +28,14 @@
 #   scripts/ci.sh --bench-json   # run the kernel micro-benchmarks and a
 #                                # loadgen round against a local daemon, and
 #                                # record the numbers in BENCH_<date>.json
+#                                # (refuses to overwrite an existing record
+#                                # for today unless --force is passed)
+#   scripts/ci.sh --bench-compare # run the kernels fresh and diff against
+#                                # the latest committed BENCH_*.json:
+#                                # deterministic flop/alloc counter
+#                                # regressions hard-fail, wall-time
+#                                # regressions warn only; then record the
+#                                # fresh numbers as a new BENCH file
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -207,11 +215,24 @@ if [[ "${1:-}" == "--serve-smoke" ]]; then
     serve_smoke
 fi
 
-if [[ "${1:-}" == "--bench-json" ]]; then
-    date_tag=$(date +%F)
+# The newest committed benchmark record (empty if none). `sort` works
+# because the names embed ISO dates (with optional _rN re-run suffixes
+# that sort after the plain date).
+latest_bench() {
+    ls BENCH_*.json 2>/dev/null | sort | tail -n1
+}
+
+# bench_record <out_json> [extra kernel flags...]: run the kernel
+# micro-benchmarks (quick mode) plus one loadgen round against a local
+# serve daemon, and write the combined record to <out_json>. Extra flags
+# (e.g. --compare FILE) are passed to the kernels bench; a compare
+# failure aborts before anything is written.
+bench_record() {
+    local out=$1; shift
+    local kjson ljson slog serve_pid serve_addr
     kjson=$(mktemp); ljson=$(mktemp); slog=$(mktemp)
     echo "==> kernel micro-benchmarks (quick, json)"
-    cargo bench --offline -p digiq-bench --bench kernels -- --quick --json-out "$kjson"
+    cargo bench --offline -p digiq-bench --bench kernels -- --quick --json-out "$kjson" "$@"
     echo "==> loadgen against a local serve daemon"
     ./target/release/serve --workers 2 > "$slog" &
     serve_pid=$!
@@ -223,9 +244,37 @@ if [[ "${1:-}" == "--bench-json" ]]; then
     fi
     wait "$serve_pid"
     printf '{"date":"%s","kernels":%s,"loadgen":%s}\n' \
-        "$date_tag" "$(cat "$kjson")" "$(cat "$ljson")" > "BENCH_${date_tag}.json"
+        "$(date +%F)" "$(cat "$kjson")" "$(cat "$ljson")" > "$out"
     rm -f "$kjson" "$ljson" "$slog"
-    echo "benchmark numbers written to BENCH_${date_tag}.json"
+    echo "benchmark numbers written to $out"
+}
+
+if [[ "${1:-}" == "--bench-json" ]]; then
+    out="BENCH_$(date +%F).json"
+    if [[ -e "$out" && "${2:-}" != "--force" ]]; then
+        echo "$out already exists; pass --force to overwrite it" >&2
+        exit 1
+    fi
+    bench_record "$out"
+fi
+
+if [[ "${1:-}" == "--bench-compare" ]]; then
+    baseline=$(latest_bench)
+    if [[ -z "$baseline" ]]; then
+        echo "no committed BENCH_*.json to compare against" >&2
+        exit 1
+    fi
+    # Never overwrite the baseline (or any same-day record): suffix re-runs
+    # with _rN, which sorts after the plain date.
+    out="BENCH_$(date +%F).json"
+    n=2
+    while [[ -e "$out" ]]; do
+        out="BENCH_$(date +%F)_r${n}.json"
+        n=$((n + 1))
+    done
+    echo "==> bench compare vs $baseline (counters hard-fail, wall time warn-only)"
+    # Absolute path: cargo bench runs the binary with cwd = crates/bench.
+    bench_record "$out" --compare "$PWD/$baseline"
 fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
@@ -251,8 +300,16 @@ if [[ "${1:-}" == "--smoke" ]]; then
         cargo run -q --release --offline --example "$e"
     done
 
-    echo "==> kernel micro-benchmarks (quick)"
-    cargo bench --offline -p digiq-bench --bench kernels -- --quick
+    echo "==> kernel micro-benchmarks (quick, vs latest BENCH record)"
+    baseline=$(latest_bench)
+    if [[ -n "$baseline" ]]; then
+        # Compare-only (no new record): counter regressions hard-fail the
+        # smoke, wall-time regressions warn (single-CPU CI is too noisy).
+        # Absolute path: the bench binary's cwd is the package directory.
+        cargo bench --offline -p digiq-bench --bench kernels -- --quick --compare "$PWD/$baseline"
+    else
+        cargo bench --offline -p digiq-bench --bench kernels -- --quick
+    fi
 fi
 
 echo "CI OK"
