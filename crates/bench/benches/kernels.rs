@@ -200,7 +200,16 @@ fn compare(rows: &[Row], baseline_path: &str, baseline: &Json) -> bool {
             b.count_field("allocs", "row"),
         ) {
             (Ok(bf), Ok(ba)) => {
-                if row.counters.flops > bf || row.counters.allocs > ba {
+                if bf == 0 && ba == 0 && (row.counters.flops > 0 || row.counters.allocs > 0) {
+                    // An all-zero baseline against a counting kernel means
+                    // the record predates counter coverage of this path
+                    // (not a regression from literally zero work); a fresh
+                    // record picks up the gate from here.
+                    format!(
+                        "baseline predates counter coverage (now flops {}, allocs {})",
+                        row.counters.flops, row.counters.allocs
+                    )
+                } else if row.counters.flops > bf || row.counters.allocs > ba {
                     ok = false;
                     format!(
                         "REGRESSED flops {} -> {}, allocs {} -> {}",

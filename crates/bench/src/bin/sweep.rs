@@ -13,7 +13,12 @@
 //!   check diffs this byte-for-byte);
 //! * `--compare-serial` — times the sweep on fresh engines with 1 worker
 //!   and with `--workers` workers, verifies the two serialized reports
-//!   are byte-identical, and prints the speedup.
+//!   are byte-identical, and prints the speedup;
+//! * `--distributed` — spawns `--n-workers` child processes of this
+//!   binary (each `--worker-id N`) that coordinate through claim files
+//!   under the shared `--cache-dir`, then merges their shard journals
+//!   into a report byte-identical to the serial run; `--merge` runs
+//!   just the merge step over existing shards.
 //!
 //! Common flags (parsed by `digiq_bench::cli`): `--workers N` (default:
 //! all cores), `--seeds N` (drift seeds `0..N`), `--json` (print the
@@ -29,13 +34,15 @@
 //! interruption-testing hook behind the CI resume check).
 
 use digiq_bench::cli::CommonArgs;
-use digiq_core::engine::{default_workers, EvalEngine, PassCacheStats, SweepReport, SweepSpec};
+use digiq_core::engine::{
+    default_workers, DistributedConfig, EvalEngine, PassCacheStats, SweepReport, SweepSpec,
+};
 use digiq_core::store::{ArtifactStore, SweepJournal};
 use qcircuit::bench::{Benchmark, ALL_BENCHMARKS};
 use sfq_hw::cost::CostModel;
 use sfq_hw::json::{Json, ToJson};
 use std::path::Path;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn spec_for_mode(smoke: bool, full: bool, seeds: usize) -> SweepSpec {
     let spec = if smoke {
@@ -150,6 +157,17 @@ fn json_with_pass_stats(
     j.render()
 }
 
+/// Parse an optional non-negative integer flag, exiting with a usage
+/// error on malformed values (matches `--interrupt-after` handling).
+fn dist_count(flag: &str) -> Option<usize> {
+    digiq_bench::arg_value(flag).map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("error: `{flag}` needs a non-negative integer, got `{v}`");
+            std::process::exit(2);
+        })
+    })
+}
+
 fn main() {
     let args = CommonArgs::parse_for(
         "sweep",
@@ -161,6 +179,30 @@ fn main() {
             (
                 "--interrupt-after N",
                 "stop after N fresh jobs (journal testing hook; needs --cache-dir)",
+            ),
+            (
+                "--distributed",
+                "spawn --n-workers worker processes over --cache-dir, wait, merge, print",
+            ),
+            (
+                "--n-workers N",
+                "worker process count for --distributed (default 4)",
+            ),
+            (
+                "--worker-id N",
+                "run as one distributed worker: claim jobs, stream a shard journal",
+            ),
+            (
+                "--merge",
+                "assemble the final report from a distributed sweep's shard journals",
+            ),
+            (
+                "--claim-ttl-ms N",
+                "stale-claim expiry for distributed workers (default 30000)",
+            ),
+            (
+                "--dist-hold-ms N",
+                "hold each claimed job N ms before evaluating (crash-testing hook)",
             ),
         ],
         default_workers(),
@@ -215,35 +257,120 @@ fn main() {
     }
 
     let engine = args.engine();
-    let report = match &args.cache_dir {
-        None => engine.run(&spec, workers),
-        Some(dir) => {
-            // Persistent mode: journal completed jobs under the cache
-            // dir (keyed by the spec fingerprint) so `--resume` can skip
-            // them, and report the deterministic cold-run cache
-            // accounting so warm-started and resumed runs serialize
-            // byte-identically to an uninterrupted one.
-            let journal_dir = ArtifactStore::journal_dir(Path::new(dir));
-            let journal = SweepJournal::open(&journal_dir, spec.stable_key()).unwrap_or_else(|e| {
-                eprintln!("error: cannot open sweep journal under `{dir}`: {e}");
+
+    // Distributed modes, all anchored on one shared `--cache-dir`:
+    // `--worker-id N` runs one claiming worker (normally spawned as a
+    // child of `--distributed`), `--distributed` spawns `--n-workers`
+    // such children and merges once they exit, and `--merge` assembles
+    // a report from whatever shard journals are already on disk.
+    let worker_id = dist_count("--worker-id");
+    let distributed = digiq_bench::has_flag("--distributed");
+    let merge_only = digiq_bench::has_flag("--merge");
+
+    let report = if worker_id.is_some() || distributed || merge_only {
+        let Some(dir) = args.cache_dir.as_deref() else {
+            eprintln!("error: distributed sweep modes need --cache-dir");
+            std::process::exit(2);
+        };
+        let dir = Path::new(dir);
+        let n_workers = dist_count("--n-workers").unwrap_or(4).max(1);
+
+        if let Some(id) = worker_id {
+            // Worker process: claim → evaluate → shard-journal until the
+            // whole sweep is journaled. Prints nothing to stdout — the
+            // coordinator (or `--merge`) owns the report.
+            let mut cfg = DistributedConfig::new(format!("w{id}"));
+            cfg.scan_offset = id * spec.job_count() / n_workers;
+            if let Some(ms) = dist_count("--claim-ttl-ms") {
+                cfg.claim_ttl = Duration::from_millis(ms as u64);
+            }
+            cfg.hold = dist_count("--dist-hold-ms").map(|ms| Duration::from_millis(ms as u64));
+            if let Err(e) = engine.run_distributed(&spec, dir, &cfg, None) {
+                eprintln!("error: worker w{id}: {e}");
+                std::process::exit(1);
+            }
+            args.report_store_stats(&engine);
+            return;
+        }
+
+        if distributed {
+            // Coordinator: respawn this binary as N worker children
+            // sharing the cache dir, forwarding our own flags (minus
+            // `--distributed`) so mode/pipeline/ttl selections carry.
+            let exe = std::env::current_exe().unwrap_or_else(|e| {
+                eprintln!("error: cannot locate the sweep binary: {e}");
                 std::process::exit(1);
             });
-            let interrupt_after = digiq_bench::arg_value("--interrupt-after").map(|v| {
-                v.parse::<usize>().unwrap_or_else(|_| {
+            let forwarded: Vec<String> = std::env::args()
+                .skip(1)
+                .filter(|a| a != "--distributed")
+                .collect();
+            let mut children = Vec::new();
+            for id in 0..n_workers {
+                let child = std::process::Command::new(&exe)
+                    .args(&forwarded)
+                    .args(["--worker-id", &id.to_string()])
+                    .args(["--n-workers", &n_workers.to_string()])
+                    .spawn()
+                    .unwrap_or_else(|e| {
+                        eprintln!("error: cannot spawn worker w{id}: {e}");
+                        std::process::exit(1);
+                    });
+                children.push((id, child));
+            }
+            let mut failed = false;
+            for (id, mut child) in children {
+                let ok = child.wait().map(|s| s.success()).unwrap_or(false);
+                if !ok {
+                    eprintln!("error: worker w{id} exited with failure");
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
+
+        // Merge (runs for both the coordinator and `--merge`): assemble
+        // the report from every shard journal under the cache dir. The
+        // result is byte-identical to a serial in-process run.
+        engine.merge_distributed(&spec, dir).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        })
+    } else {
+        match &args.cache_dir {
+            None => engine.run(&spec, workers),
+            Some(dir) => {
+                // Persistent mode: journal completed jobs under the cache
+                // dir (keyed by the spec fingerprint) so `--resume` can skip
+                // them, and report the deterministic cold-run cache
+                // accounting so warm-started and resumed runs serialize
+                // byte-identically to an uninterrupted one.
+                let journal_dir = ArtifactStore::journal_dir(Path::new(dir));
+                let journal =
+                    SweepJournal::open(&journal_dir, spec.stable_key()).unwrap_or_else(|e| {
+                        eprintln!("error: cannot open sweep journal under `{dir}`: {e}");
+                        std::process::exit(1);
+                    });
+                let interrupt_after =
+                    digiq_bench::arg_value("--interrupt-after").map(|v| {
+                        v.parse::<usize>().unwrap_or_else(|_| {
                     eprintln!("error: `--interrupt-after` needs a non-negative integer, got `{v}`");
                     std::process::exit(2);
                 })
-            });
-            match engine.run_journaled(&spec, workers, &journal, args.resume, interrupt_after) {
-                Some(report) => report,
-                None => {
-                    eprintln!(
-                        "sweep interrupted after {} fresh job(s); journal at {} — \
+                    });
+                match engine.run_journaled(&spec, workers, &journal, args.resume, interrupt_after) {
+                    Some(report) => report,
+                    None => {
+                        eprintln!(
+                            "sweep interrupted after {} fresh job(s); journal at {} — \
                          rerun with --resume to finish",
-                        interrupt_after.unwrap_or(0),
-                        journal.path().display()
-                    );
-                    return;
+                            interrupt_after.unwrap_or(0),
+                            journal.path().display()
+                        );
+                        return;
+                    }
                 }
             }
         }

@@ -78,7 +78,7 @@ use crate::design::{ControllerDesign, SystemConfig};
 use crate::exec::{checkerboard_groups, execute, ExecParams, ExecReport};
 use crate::hardware::{build_hardware, DesignHardware};
 use crate::store::{
-    self, lock_unpoisoned, ns, ArtifactStore, StoreConfig, StoreStats, SweepJournal,
+    self, lock_unpoisoned, ns, ArtifactStore, JobClaims, StoreConfig, StoreStats, SweepJournal,
 };
 use crate::system::{measured_min_lengths_with_db, BenchmarkReport, MinBasisKind};
 use calib::min_decomp::{SequenceDb, SharedSequenceDb};
@@ -92,8 +92,10 @@ use qcircuit::topology::Grid;
 use sfq_hw::cost::CostModel;
 use sfq_hw::json::{Json, ToJson};
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// The number of workers a sweep uses when the caller does not care:
 /// every available core.
@@ -1688,6 +1690,157 @@ impl EvalEngine {
         })
     }
 
+    /// Runs `spec` as one worker of a **distributed** sweep: any number
+    /// of processes sharing one cache dir cooperate with no coordinator,
+    /// each claiming jobs through the store's claim files
+    /// ([`crate::store::JobClaims`]), evaluating them single-file, and
+    /// streaming completions into its own shard journal
+    /// (`<spec key>.<worker>.jsonl`) so no two processes ever append to
+    /// the same file. A worker whose scan finds every remaining job
+    /// claimed by someone else waits and rescans — a killed worker's
+    /// claims stop being heartbeated, go stale after the TTL, and are
+    /// reclaimed by the survivors — and every worker returns only once
+    /// all jobs are journaled, handing back the merged report (identical
+    /// bytes to [`EvalEngine::merge_distributed`], the serial run, and
+    /// the journaled run: pure job records merged in index order with
+    /// the deterministic cold-run cache accounting stamped on top).
+    ///
+    /// `stop` aborts between jobs (returning `Ok(None)`) the way a
+    /// draining server stops a journaled sweep.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error if the claim directory or shard journal
+    /// cannot be created.
+    pub fn run_distributed(
+        &self,
+        spec: &SweepSpec,
+        cache_dir: &Path,
+        cfg: &DistributedConfig,
+        stop: Option<&AtomicBool>,
+    ) -> std::io::Result<Option<SweepReport>> {
+        self.run_distributed_in(&self.root, spec, cache_dir, cfg, stop)
+    }
+
+    fn run_distributed_in(
+        &self,
+        state: &SessionState,
+        spec: &SweepSpec,
+        cache_dir: &Path,
+        cfg: &DistributedConfig,
+        stop: Option<&AtomicBool>,
+    ) -> std::io::Result<Option<SweepReport>> {
+        let key = spec.stable_key();
+        let journal_dir = ArtifactStore::journal_dir(cache_dir);
+        let claims = JobClaims::open(cache_dir, key, &cfg.worker, cfg.claim_ttl)?;
+        let shard = SweepJournal::open_shard(&journal_dir, key, &cfg.worker)?;
+        let jobs = spec.jobs();
+        let load_done = || -> BTreeMap<usize, JobRecord> {
+            let mut done = BTreeMap::new();
+            for (index, record) in SweepJournal::load_all(&journal_dir, key) {
+                let index = index as usize;
+                if index < jobs.len() {
+                    if let Ok(record) = JobRecord::from_json(&record) {
+                        done.insert(index, record);
+                    }
+                }
+            }
+            done
+        };
+        let mut done = load_done();
+        while done.len() < jobs.len() {
+            if stop.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                return Ok(None);
+            }
+            let mut progressed = false;
+            // Scan from this worker's offset so workers spread over
+            // disjoint regions first and only contend at the end.
+            for k in 0..jobs.len() {
+                if stop.is_some_and(|f| f.load(Ordering::Relaxed)) {
+                    return Ok(None);
+                }
+                let job = &jobs[(k + cfg.scan_offset) % jobs.len()];
+                if done.contains_key(&job.index) || !claims.try_claim(job.index as u64) {
+                    continue;
+                }
+                // Between our last journal scan and winning the claim,
+                // another worker may have journaled this job and released
+                // — re-check before evaluating so a job is never
+                // journaled twice.
+                done = load_done();
+                if done.contains_key(&job.index) {
+                    claims.release(job.index as u64);
+                    continue;
+                }
+                let _hb = claims.heartbeat(job.index as u64);
+                if let Some(hold) = cfg.hold {
+                    std::thread::sleep(hold);
+                }
+                let record = self.run_job_in(state, spec, job);
+                shard.append(job.index as u64, &record.to_json());
+                claims.release(job.index as u64);
+                done.insert(job.index, record);
+                progressed = true;
+            }
+            if !progressed && done.len() < jobs.len() {
+                // Everything left is claimed elsewhere: wait for those
+                // workers to journal — or for their claims to go stale.
+                std::thread::sleep(cfg.poll);
+                done = load_done();
+            }
+        }
+        Ok(Some(SweepReport {
+            grid_rows: spec.grid_rows,
+            grid_cols: spec.grid_cols,
+            jobs: done.into_values().collect(),
+            cache: self.cold_cache_stats_warm(spec),
+        }))
+    }
+
+    /// Assembles the final report of a distributed sweep from whatever
+    /// shard layout the workers left behind: loads the base journal plus
+    /// every worker shard, merges records in job-index order, and stamps
+    /// the deterministic cold-run cache accounting — so the merged bytes
+    /// are identical to a serial [`EvalEngine::run`] of the same spec no
+    /// matter how many workers ran, which worker evaluated which job, or
+    /// how often a job was re-run after a claim expired.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when any job is missing from the journals
+    /// (the sweep is still running, or a worker died un-reclaimed).
+    pub fn merge_distributed(
+        &self,
+        spec: &SweepSpec,
+        cache_dir: &Path,
+    ) -> Result<SweepReport, String> {
+        let journal_dir = ArtifactStore::journal_dir(cache_dir);
+        let jobs = spec.job_count();
+        let mut merged: BTreeMap<usize, JobRecord> = BTreeMap::new();
+        for (index, record) in SweepJournal::load_all(&journal_dir, spec.stable_key()) {
+            let index = index as usize;
+            if index < jobs {
+                if let Ok(record) = JobRecord::from_json(&record) {
+                    merged.insert(index, record);
+                }
+            }
+        }
+        if merged.len() < jobs {
+            return Err(format!(
+                "distributed sweep incomplete: {}/{} jobs journaled under {}",
+                merged.len(),
+                jobs,
+                journal_dir.display()
+            ));
+        }
+        Ok(SweepReport {
+            grid_rows: spec.grid_rows,
+            grid_cols: spec.grid_cols,
+            jobs: merged.into_values().collect(),
+            cache: self.cold_cache_stats_warm(spec),
+        })
+    }
+
     /// Opens a per-request [`EvalSession`] over this engine — the unit
     /// of isolation digiq-serve gives each client request while the
     /// engine itself (and its `Arc<ArtifactStore>`) is shared across
@@ -1698,6 +1851,42 @@ impl EvalEngine {
             state: SessionState::default(),
             base: self.cache_stats_in(&SessionState::default()),
             store_base: self.store.stats(),
+        }
+    }
+}
+
+/// Configuration of one distributed sweep worker
+/// ([`EvalEngine::run_distributed`]).
+#[derive(Debug, Clone)]
+pub struct DistributedConfig {
+    /// Worker label: names the shard journal file and is written into
+    /// claim bodies for diagnostics (`w0`, `serve-4217`, …).
+    pub worker: String,
+    /// Job index this worker's scan starts from (workers spread over
+    /// disjoint regions first; `worker_id * jobs / n_workers` for evenly
+    /// offset CLI workers).
+    pub scan_offset: usize,
+    /// How long an un-refreshed claim stays valid before another worker
+    /// may steal it. Must comfortably exceed the heartbeat period
+    /// (quarter-TTL) plus scheduling jitter.
+    pub claim_ttl: Duration,
+    /// Testing hook: sleep this long while holding each claim before
+    /// evaluating, widening the window in which a kill leaves a claimed
+    /// but unjournaled job behind (`sweep --dist-hold-ms`).
+    pub hold: Option<Duration>,
+    /// Rescan interval while every remaining job is claimed elsewhere.
+    pub poll: Duration,
+}
+
+impl DistributedConfig {
+    /// A worker configuration with the default 30 s TTL and 25 ms poll.
+    pub fn new(worker: impl Into<String>) -> Self {
+        DistributedConfig {
+            worker: worker.into(),
+            scan_offset: 0,
+            claim_ttl: Duration::from_secs(30),
+            hold: None,
+            poll: Duration::from_millis(25),
         }
     }
 }
@@ -1762,6 +1951,26 @@ impl<'e> EvalSession<'e> {
     /// already independent of store warmth).
     pub fn run_cosim(&self, spec: &SweepSpec, workers: usize) -> CosimSweepReport {
         self.engine.run_cosim_in(&self.state, spec, workers)
+    }
+
+    /// [`EvalEngine::run_distributed`] charged to this session's
+    /// counters — how a serve daemon's eval worker joins a distributed
+    /// sweep over the shared cache dir instead of evaluating every job
+    /// itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error if the claim directory or shard journal
+    /// cannot be created.
+    pub fn run_distributed(
+        &self,
+        spec: &SweepSpec,
+        cache_dir: &Path,
+        cfg: &DistributedConfig,
+        stop: Option<&AtomicBool>,
+    ) -> std::io::Result<Option<SweepReport>> {
+        self.engine
+            .run_distributed_in(&self.state, spec, cache_dir, cfg, stop)
     }
 
     /// [`EvalEngine::run_journaled`] charged to this session, with the

@@ -36,6 +36,8 @@
 //! ```text
 //! <cache-dir>/v1/<namespace>/<key as %016x>.json   one artifact per file
 //! <cache-dir>/v1/journal/<spec key>.jsonl          sweep completion journal
+//! <cache-dir>/v1/journal/<spec key>.<label>.jsonl  per-worker shard journal
+//! <cache-dir>/v1/claims/<spec key>/<index>.claim   distributed job claims
 //! ```
 
 use crate::cosim::CosimReport;
@@ -51,8 +53,9 @@ use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
 
 /// Version directory of the on-disk artifact format. Bump only for a
 /// deliberate, documented format change (see the ROADMAP's stability
@@ -460,6 +463,7 @@ pub struct ArtifactStore {
     resident: AtomicUsize,
     clock: AtomicU64,
     tmp_seq: AtomicU64,
+    tmp_swept: u64,
     capacity: Option<usize>,
     disk_root: Option<PathBuf>,
 }
@@ -488,7 +492,13 @@ impl ArtifactStore {
     }
 
     /// A store with explicit capacity / persistence configuration.
+    ///
+    /// Opening a persistent store also sweeps orphaned atomic-write temp
+    /// files (left by writers that died between write and rename) out of
+    /// the disk root; the count is reported in [`StoreStats::tmp_swept`].
     pub fn with_config(config: StoreConfig) -> Self {
+        let disk_root = config.cache_dir.map(|d| d.join(DISK_FORMAT_VERSION));
+        let tmp_swept = disk_root.as_deref().map_or(0, sweep_orphan_tmp);
         ArtifactStore {
             shards: (0..SHARD_COUNT)
                 .map(|_| Mutex::new(HashMap::new()))
@@ -497,8 +507,9 @@ impl ArtifactStore {
             resident: AtomicUsize::new(0),
             clock: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
+            tmp_swept,
             capacity: config.capacity,
-            disk_root: config.cache_dir.map(|d| d.join(DISK_FORMAT_VERSION)),
+            disk_root,
         }
     }
 
@@ -515,6 +526,11 @@ impl ArtifactStore {
     /// The journal directory a persistent sweep uses, for a cache dir.
     pub fn journal_dir(cache_dir: &Path) -> PathBuf {
         cache_dir.join(DISK_FORMAT_VERSION).join("journal")
+    }
+
+    /// Orphaned atomic-write temp files swept when this store opened.
+    pub fn tmp_swept(&self) -> u64 {
+        self.tmp_swept
     }
 
     /// Entries currently resident in memory.
@@ -785,8 +801,67 @@ impl ArtifactStore {
                 })
                 .collect(),
             resident: self.resident() as u64,
+            tmp_swept: self.tmp_swept,
         }
     }
+}
+
+/// Removes orphaned atomic-write temp files (`.{key}.tmp.{pid}.{seq}`)
+/// from every namespace directory under `root`. A writer that dies
+/// between `fs::write` and `rename` leaks its temp file forever —
+/// harmless to readers, but in a cache dir shared by many worker
+/// processes they accumulate without bound. A temp file is swept only
+/// when its embedded writer pid is provably dead; everything else
+/// (including the claims and journal directories, whose names never
+/// match the pattern) is left alone.
+fn sweep_orphan_tmp(root: &Path) -> u64 {
+    let mut swept = 0;
+    let Ok(namespaces) = std::fs::read_dir(root) else {
+        return 0;
+    };
+    for ns_dir in namespaces.flatten() {
+        let Ok(files) = std::fs::read_dir(ns_dir.path()) else {
+            continue;
+        };
+        for f in files.flatten() {
+            let name = f.file_name();
+            let Some(pid) = orphan_tmp_pid(name.to_str().unwrap_or("")) else {
+                continue;
+            };
+            if pid != std::process::id()
+                && !process_alive(pid)
+                && std::fs::remove_file(f.path()).is_ok()
+            {
+                swept += 1;
+            }
+        }
+    }
+    swept
+}
+
+/// Parses the writer pid out of an atomic-write temp file name
+/// (`.{16-hex key}.tmp.{pid}.{seq}`); `None` for every other name.
+fn orphan_tmp_pid(name: &str) -> Option<u32> {
+    let rest = name.strip_prefix('.')?;
+    let (key, rest) = rest.split_once(".tmp.")?;
+    if key.len() != 16 || !key.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    let (pid, seq) = rest.split_once('.')?;
+    if seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    pid.parse().ok()
+}
+
+/// Whether `pid` is a live process. Conservative: without procfs,
+/// liveness cannot be determined, every pid reads as alive, and nothing
+/// is swept.
+fn process_alive(pid: u32) -> bool {
+    if !Path::new("/proc/self").exists() {
+        return true;
+    }
+    Path::new("/proc").join(pid.to_string()).exists()
 }
 
 // ---------------------------------------------------------------------
@@ -860,6 +935,9 @@ pub struct StoreStats {
     pub namespaces: Vec<NamespaceStats>,
     /// Entries resident in memory at snapshot time.
     pub resident: u64,
+    /// Orphaned atomic-write temp files swept when the store opened
+    /// (dead writers' `.{key}.tmp.{pid}.{seq}` leftovers).
+    pub tmp_swept: u64,
 }
 
 impl StoreStats {
@@ -927,6 +1005,7 @@ impl StoreStats {
         StoreStats {
             namespaces,
             resident: self.resident,
+            tmp_swept: self.tmp_swept,
         }
     }
 
@@ -946,6 +1025,8 @@ impl StoreStats {
         Ok(StoreStats {
             namespaces,
             resident: j.count_field("resident", "store stats")?,
+            // Absent in records written before the sweep existed.
+            tmp_swept: j.count_field("tmp_swept", "store stats").unwrap_or(0),
         })
     }
 
@@ -965,6 +1046,7 @@ impl ToJson for StoreStats {
         Json::obj([
             ("namespaces", self.namespaces.to_json()),
             ("resident", self.resident.to_json()),
+            ("tmp_swept", self.tmp_swept.to_json()),
         ])
     }
 }
@@ -1057,8 +1139,36 @@ impl SweepJournal {
     ///
     /// Returns the IO error if the directory or file cannot be created.
     pub fn open(dir: &Path, spec_key: u64) -> std::io::Result<SweepJournal> {
+        Self::open_at(dir, format!("{spec_key:016x}.jsonl"))
+    }
+
+    /// Opens (creating if needed) a per-worker **shard** journal
+    /// (`<spec key>.<label>.jsonl`) under `dir`. Distributed workers each
+    /// stream completions into their own shard so no two processes ever
+    /// append to the same file; [`SweepJournal::load_all`] reads every
+    /// shard back for the merge. Non-filename-safe label characters are
+    /// replaced with `-`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error if the directory or file cannot be created.
+    pub fn open_shard(dir: &Path, spec_key: u64, label: &str) -> std::io::Result<SweepJournal> {
+        let safe: String = label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        Self::open_at(dir, format!("{spec_key:016x}.{safe}.jsonl"))
+    }
+
+    fn open_at(dir: &Path, file_name: String) -> std::io::Result<SweepJournal> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{spec_key:016x}.jsonl"));
+        let path = dir.join(file_name);
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -1081,6 +1191,10 @@ impl SweepJournal {
         let Ok(text) = std::fs::read_to_string(&self.path) else {
             return Vec::new();
         };
+        Self::parse_lines(&text)
+    }
+
+    fn parse_lines(text: &str) -> Vec<(u64, Json)> {
         text.lines()
             .filter_map(|line| {
                 let j = Json::parse(line).ok()?;
@@ -1088,6 +1202,40 @@ impl SweepJournal {
                 Some((index, j.get("record")?.clone()))
             })
             .collect()
+    }
+
+    /// Loads every valid line of `spec_key`'s base journal **and** all of
+    /// its worker shards under `dir`, concatenated in lexicographic file
+    /// order (base first, shards by label). Same per-line tolerance as
+    /// [`SweepJournal::load`]; duplicate indices across shards are
+    /// returned as-is. Because every record is the output of the same
+    /// pure evaluation function, which shard journaled a job never
+    /// changes the merged bytes.
+    pub fn load_all(dir: &Path, spec_key: u64) -> Vec<(u64, Json)> {
+        let prefix = format!("{spec_key:016x}");
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return Vec::new();
+        };
+        let mut files: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(|n| n.strip_prefix(prefix.as_str()))
+                    .is_some_and(|rest| {
+                        rest == ".jsonl" || (rest.starts_with('.') && rest.ends_with(".jsonl"))
+                    })
+            })
+            .collect();
+        files.sort();
+        let mut out = Vec::new();
+        for p in files {
+            if let Ok(text) = std::fs::read_to_string(&p) {
+                out.extend(Self::parse_lines(&text));
+            }
+        }
+        out
     }
 
     /// Appends one completed job, flushing so the line survives an
@@ -1098,6 +1246,194 @@ impl SweepJournal {
         let mut file = lock_unpoisoned(&self.file);
         let _ = writeln!(file, "{line}");
         let _ = file.flush();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Distributed job claims
+// ---------------------------------------------------------------------
+
+/// Per-job claim files coordinating distributed sweep workers through a
+/// shared cache dir, with no coordinator process:
+///
+/// * **acquire** — `O_CREAT|O_EXCL` ([`std::fs::OpenOptions::create_new`])
+///   on `<cache-dir>/v1/claims/<spec key>/<index>.claim`, so exactly one
+///   of any number of racing processes wins a job;
+/// * **heartbeat** — the holder periodically rewrites its claim file,
+///   refreshing the mtime. The refresher dies with the process (SIGKILL
+///   included), so a dead worker's claims stop being refreshed;
+/// * **expiry** — a claim whose mtime is older than the TTL is stale.
+///   A stealer first renames it to a unique tombstone (exactly one of
+///   several concurrent stealers wins the rename) and then re-races the
+///   vacated name under the normal `create_new` rules.
+///
+/// The claim file's JSON body (`{"worker":…,"pid":…}`) is diagnostic
+/// only — correctness rests entirely on the atomic create/rename
+/// operations. The directory lives under [`DISK_FORMAT_VERSION`], so a
+/// layout change follows the same bump discipline as the artifact files.
+pub struct JobClaims {
+    dir: PathBuf,
+    body: String,
+    ttl: Duration,
+    steal_seq: AtomicU64,
+}
+
+impl std::fmt::Debug for JobClaims {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobClaims")
+            .field("dir", &self.dir)
+            .field("ttl", &self.ttl)
+            .finish()
+    }
+}
+
+impl JobClaims {
+    /// The claims directory of one sweep spec, for a cache dir.
+    pub fn claims_dir(cache_dir: &Path, spec_key: u64) -> PathBuf {
+        cache_dir
+            .join(DISK_FORMAT_VERSION)
+            .join("claims")
+            .join(format!("{spec_key:016x}"))
+    }
+
+    /// Opens (creating if needed) the claim directory for a spec key.
+    /// `worker` is a diagnostic label written into claim bodies; `ttl`
+    /// is how long an un-refreshed claim stays valid before another
+    /// worker may steal it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the IO error if the directory cannot be created.
+    pub fn open(
+        cache_dir: &Path,
+        spec_key: u64,
+        worker: &str,
+        ttl: Duration,
+    ) -> std::io::Result<JobClaims> {
+        let dir = Self::claims_dir(cache_dir, spec_key);
+        std::fs::create_dir_all(&dir)?;
+        let body = Json::obj([
+            ("worker", worker.to_json()),
+            ("pid", u64::from(std::process::id()).to_json()),
+        ])
+        .render();
+        Ok(JobClaims {
+            dir,
+            body,
+            ttl,
+            steal_seq: AtomicU64::new(0),
+        })
+    }
+
+    fn claim_path(&self, index: u64) -> PathBuf {
+        self.dir.join(format!("{index}.claim"))
+    }
+
+    /// Tries to claim job `index`: wins a vacant claim atomically, or
+    /// steals a stale one (un-refreshed for longer than the TTL).
+    /// Returns whether this caller now holds the claim.
+    pub fn try_claim(&self, index: u64) -> bool {
+        let path = self.claim_path(index);
+        if self.acquire(&path) {
+            return true;
+        }
+        if !self.is_stale(&path) {
+            return false;
+        }
+        // Steal: rename the stale claim to a unique tombstone — of any
+        // number of concurrent stealers, exactly one rename succeeds —
+        // then re-race the vacated name. Losing either race is fine:
+        // some other worker holds the job now.
+        let tombstone = self.dir.join(format!(
+            ".steal.{index}.{}.{}",
+            std::process::id(),
+            self.steal_seq.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::rename(&path, &tombstone).is_err() {
+            return false;
+        }
+        let _ = std::fs::remove_file(&tombstone);
+        self.acquire(&path)
+    }
+
+    /// `O_CREAT|O_EXCL` acquisition of one claim path.
+    fn acquire(&self, path: &Path) -> bool {
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+        {
+            Ok(mut f) => {
+                let _ = f.write_all(self.body.as_bytes());
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Whether the claim at `path` has not been refreshed within the TTL.
+    /// Unreadable metadata (including a just-released claim) reads as
+    /// fresh — the next scan retries.
+    fn is_stale(&self, path: &Path) -> bool {
+        std::fs::metadata(path)
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| mtime.elapsed().ok())
+            .is_some_and(|age| age > self.ttl)
+    }
+
+    /// Rewrites the claim file for job `index`, refreshing its mtime.
+    pub fn refresh(&self, index: u64) {
+        let _ = std::fs::write(self.claim_path(index), self.body.as_bytes());
+    }
+
+    /// Releases the claim on job `index` (after its record is safely
+    /// journaled). Best-effort: an unreleased claim merely goes stale.
+    pub fn release(&self, index: u64) {
+        let _ = std::fs::remove_file(self.claim_path(index));
+    }
+
+    /// Starts a background refresher for job `index`, rewriting the
+    /// claim every quarter-TTL until the returned guard drops (panic
+    /// safe — the guard stops the thread from its destructor). A worker
+    /// killed outright loses the refresher with the process, so its
+    /// claim goes stale and gets reclaimed — exactly the expiry story
+    /// the distributed tests kill a real worker to prove.
+    pub fn heartbeat(&self, index: u64) -> ClaimHeartbeat {
+        let period = (self.ttl / 4).max(Duration::from_millis(5));
+        let path = self.claim_path(index);
+        let body = self.body.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !thread_stop.load(Ordering::Relaxed) {
+                std::thread::park_timeout(period);
+                if thread_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let _ = std::fs::write(&path, body.as_bytes());
+            }
+        });
+        ClaimHeartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+}
+
+/// Stops the claim refresher when dropped (see [`JobClaims::heartbeat`]).
+pub struct ClaimHeartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for ClaimHeartbeat {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
     }
 }
 
@@ -1369,11 +1705,121 @@ mod tests {
         let parsed = StoreStats::parse(&stats.to_json_string()).unwrap();
         assert_eq!(parsed, stats);
         assert!(StoreStats::parse("{}").is_err());
+        // Records written before the tmp sweep existed lack the field.
+        let legacy = StoreStats::parse(r#"{"namespaces": [], "resident": 0}"#).unwrap();
+        assert_eq!(legacy.tmp_swept, 0);
         // misses == disk_hits + builds and coalesced <= hits everywhere.
         for n in &stats.namespaces {
             assert_eq!(n.misses, n.disk_hits + n.builds);
             assert!(n.coalesced <= n.hits);
         }
+    }
+
+    #[test]
+    fn orphan_tmp_names_parse_exactly() {
+        assert_eq!(
+            orphan_tmp_pid(".00000000deadbeef.tmp.4242.7"),
+            Some(4242),
+            "well-formed temp name"
+        );
+        for name in [
+            "00000000deadbeef.tmp.4242.7",   // no leading dot
+            ".00000000deadbeef.tmp.4242",    // no sequence part
+            ".00000000deadbee.tmp.4242.7",   // 15-char key
+            ".00000000deadbeef.tmp.4242.7x", // non-digit sequence
+            ".00000000deadbeef.tmp.x.7",     // non-digit pid
+            "00000000deadbeef.json",         // a real artifact
+            ".steal.3.4242.0",               // a claim tombstone
+            "00000000deadbeef.w2.jsonl",     // a shard journal
+        ] {
+            assert_eq!(orphan_tmp_pid(name), None, "{name}");
+        }
+    }
+
+    #[test]
+    fn open_sweeps_dead_writers_orphan_tmp_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "digiq-store-tmp-sweep-{}-{:x}",
+            std::process::id(),
+            qsim::rng::stable_hash_str("tmp-sweep", &[line!() as u64])
+        ));
+        let ns_dir = dir.join(DISK_FORMAT_VERSION).join("baseline");
+        std::fs::create_dir_all(&ns_dir).unwrap();
+        // An orphan from a provably dead writer (pid far beyond pid_max),
+        // one from this live process, and a real artifact file.
+        let orphan = ns_dir.join(".00000000deadbeef.tmp.999999999.0");
+        let ours = ns_dir.join(format!(".00000000deadbeef.tmp.{}.1", std::process::id()));
+        let artifact = ns_dir.join("00000000deadbeef.json");
+        for p in [&orphan, &ours, &artifact] {
+            std::fs::write(p, "{}").unwrap();
+        }
+        let store = ArtifactStore::with_config(StoreConfig {
+            capacity: None,
+            cache_dir: Some(dir.clone()),
+        });
+        assert!(!orphan.exists(), "dead writer's orphan swept");
+        assert!(ours.exists(), "live writer's temp file kept");
+        assert!(artifact.exists(), "artifacts untouched");
+        assert_eq!(store.tmp_swept(), 1);
+        assert_eq!(store.stats().tmp_swept, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn claims_acquire_once_and_steal_only_stale() {
+        let dir = std::env::temp_dir().join(format!(
+            "digiq-store-claims-{}-{:x}",
+            std::process::id(),
+            qsim::rng::stable_hash_str("claims", &[line!() as u64])
+        ));
+        let ttl = Duration::from_millis(80);
+        let a = JobClaims::open(&dir, 7, "a", ttl).unwrap();
+        let b = JobClaims::open(&dir, 7, "b", ttl).unwrap();
+        assert!(a.try_claim(3), "vacant claim acquired");
+        assert!(!b.try_claim(3), "fresh claim is not stealable");
+        // A heartbeated claim outlives the TTL un-stolen.
+        let hb = a.heartbeat(3);
+        std::thread::sleep(ttl * 3);
+        assert!(!b.try_claim(3), "refreshed claim stays fresh");
+        drop(hb);
+        // Without the refresher the claim goes stale and is stolen.
+        std::thread::sleep(ttl * 2);
+        assert!(b.try_claim(3), "stale claim stolen");
+        assert!(!a.try_claim(3), "the thief's claim is fresh again");
+        // Releasing vacates the name for a plain re-acquisition.
+        b.release(3);
+        assert!(a.try_claim(3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shard_journals_merge_with_the_base_journal() {
+        let dir = std::env::temp_dir().join(format!(
+            "digiq-store-shards-{}-{:x}",
+            std::process::id(),
+            qsim::rng::stable_hash_str("shards", &[line!() as u64])
+        ));
+        let base = SweepJournal::open(&dir, 5).unwrap();
+        base.append(0, &Json::Num(10.0));
+        let w0 = SweepJournal::open_shard(&dir, 5, "w0").unwrap();
+        w0.append(2, &Json::Num(12.0));
+        let w1 = SweepJournal::open_shard(&dir, 5, "w1").unwrap();
+        w1.append(1, &Json::Num(11.0));
+        // A different spec's journal is invisible to this spec's merge.
+        SweepJournal::open_shard(&dir, 6, "w0")
+            .unwrap()
+            .append(9, &Json::Num(99.0));
+        let mut merged = SweepJournal::load_all(&dir, 5);
+        merged.sort_by_key(|(i, _)| *i);
+        assert_eq!(
+            merged,
+            vec![
+                (0, Json::Num(10.0)),
+                (1, Json::Num(11.0)),
+                (2, Json::Num(12.0)),
+            ]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

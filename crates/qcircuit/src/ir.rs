@@ -424,6 +424,7 @@ impl Circuit {
                 level[q] = l + 1;
             }
             if moments.len() <= l {
+                qsim::counters::tally_allocs((l + 1 - moments.len()) as u64);
                 moments.resize_with(l + 1, Vec::new);
             }
             moments[l].push(i);

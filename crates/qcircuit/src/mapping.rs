@@ -218,6 +218,7 @@ pub fn route(c: &Circuit, grid: &Grid, initial: Layout, cfg: &RouterConfig) -> R
     assert!(c.n_qubits() <= grid.n_qubits());
     let mut best: Option<RoutedCircuit> = None;
     for t in 0..cfg.trials.max(1) {
+        qsim::counters::tally_alloc(); // per-trial starting-layout clone
         let r = route_once(
             c,
             grid,
@@ -256,6 +257,8 @@ pub fn route_lookahead(
     crate::lower::assert_lowered(c, "route");
     assert!(c.n_qubits() <= grid.n_qubits());
     let mut out = Circuit::new(grid.n_qubits());
+    qsim::counters::tally_alloc(); // fresh routed circuit
+
     let mut swap_count = 0usize;
 
     let upcoming: Vec<(usize, usize)> = c
@@ -266,6 +269,7 @@ pub fn route_lookahead(
             _ => None,
         })
         .collect();
+    qsim::counters::tally_alloc(); // lookahead endpoint list
     let mut next_2q = 0usize;
 
     for g in c.gates() {
@@ -291,6 +295,7 @@ pub fn route_lookahead(
                                 continue;
                             }
                             let mut trial = layout.clone();
+                            qsim::counters::tally_alloc(); // scored layout scratch
                             trial.swap_physical(end, n);
                             // Window cost: the current gate counts as the
                             // window's head, pending gates decay harmonically.
@@ -303,6 +308,7 @@ pub fn route_lookahead(
                                 let (x, y) = upcoming[idx];
                                 score += grid.distance(trial.phys(x), trial.phys(y)) as f64
                                     / (k + 2) as f64;
+                                qsim::counters::tally_flops(2); // divide + accumulate
                             }
                             let better = match best {
                                 None => true,
@@ -343,6 +349,7 @@ fn route_once(
 ) -> RoutedCircuit {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Circuit::new(grid.n_qubits());
+    qsim::counters::tally_alloc(); // fresh routed circuit
     let mut swap_count = 0usize;
 
     // Pre-extract upcoming 2q endpoints for lookahead.
@@ -354,6 +361,7 @@ fn route_once(
             _ => None,
         })
         .collect();
+    qsim::counters::tally_alloc(); // lookahead endpoint list
     let mut next_2q = 0usize; // index into `upcoming` of the current gate
 
     for g in c.gates() {
@@ -380,6 +388,7 @@ fn route_once(
                                 // Lookahead: how do pending gates like it?
                                 let mut la = 0.0;
                                 let mut trial = layout.clone();
+                                qsim::counters::tally_alloc(); // scored layout scratch
                                 trial.swap_physical(end, n);
                                 for k in 0..cfg.lookahead {
                                     let idx = next_2q + 1 + k;
@@ -389,10 +398,13 @@ fn route_once(
                                     let (x, y) = upcoming[idx];
                                     la += grid.distance(trial.phys(x), trial.phys(y)) as f64
                                         / (k + 1) as f64;
+                                    qsim::counters::tally_flops(2); // divide + accumulate
                                 }
                                 let score = d_after as f64
                                     + cfg.lookahead_weight * la
                                     + rng.gen::<f64>() * 1e-3;
+                                // Weight multiply, two adds, tie-break scale.
+                                qsim::counters::tally_flops(4);
                                 cands.push((end, n, score));
                             }
                         }

@@ -72,6 +72,7 @@ pub fn schedule_crosstalk_aware(c: &Circuit, grid: &Grid) -> Vec<Slot> {
                         break;
                     }
                     if !placed {
+                        qsim::counters::tally_alloc(); // fresh CZ colour group
                         cz_groups.push(vec![gi]);
                     }
                 }

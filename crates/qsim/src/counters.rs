@@ -18,6 +18,14 @@
 //!   `apply_into` count `8·rows·cols`, one Jacobi plane rotation counts
 //!   `48·n` (three n-length two-output updates of two complex MACs
 //!   each), and the fused spectral apply counts `8·n³ + 6·n²`.
+//! * **compile passes** (qcircuit routers/schedulers) — the routers
+//!   tally one alloc per fresh output circuit, per lookahead endpoint
+//!   list, and per scratch `Layout` clone scored as a SWAP candidate,
+//!   plus 2 flops per f64 lookahead term (divide + accumulate) and 4
+//!   per randomized candidate score (weight multiply, two adds, one
+//!   tie-break scale); `Circuit::moments` (hence both schedulers)
+//!   tallies one alloc per dependency level, and the crosstalk
+//!   scheduler one per CZ colour group it opens.
 //!
 //! The tallies are **thread-local**, so the parallel test runner and
 //! scoped worker threads never race and exact-equality asserts are safe;
@@ -49,6 +57,14 @@ pub fn tally_flops(n: u64) {
 #[inline]
 pub fn tally_alloc() {
     ALLOCS.with(|c| c.set(c.get().wrapping_add(1)));
+}
+
+/// Records `n` buffer allocations on this thread (batch accounting for
+/// callers that create several buffers in one step, e.g. a moment
+/// table's dependency levels).
+#[inline]
+pub fn tally_allocs(n: u64) {
+    ALLOCS.with(|c| c.set(c.get().wrapping_add(n)));
 }
 
 /// Reads this thread's tallies without resetting them.

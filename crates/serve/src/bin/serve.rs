@@ -45,6 +45,10 @@ fn main() {
                 "--eval-delay-ms N",
                 "testing hook: stretch fresh evaluations by N ms so coalescing checks are deterministic",
             ),
+            (
+                "--dist-claims-ttl-ms N",
+                "run journaled sweeps through the distributed claim protocol (stale-claim TTL N ms; needs --cache-dir)",
+            ),
         ],
         default_workers(),
     );
@@ -65,6 +69,7 @@ fn main() {
         drain_after: parse_count("--drain-after"),
         interrupt_after: parse_count("--interrupt-after").map(|n| n as usize),
         eval_delay: parse_count("--eval-delay-ms").map(std::time::Duration::from_millis),
+        dist_claims_ttl: parse_count("--dist-claims-ttl-ms").map(std::time::Duration::from_millis),
     };
     let handle = serve(cfg).unwrap_or_else(|e| {
         eprintln!("error: cannot bind: {e}");

@@ -25,7 +25,10 @@ use std::io::{self, Read, Write};
 
 /// Version tag carried by every control frame. Bump on any wire-visible
 /// change, in lockstep with the README protocol table.
-pub const PROTOCOL_VERSION: u64 = 1;
+///
+/// v2: `Stats` responses gained the store's `tmp_swept` field (orphaned
+/// atomic-write temp files swept at store open).
+pub const PROTOCOL_VERSION: u64 = 2;
 
 /// Upper bound on a single frame's payload (32 MiB) — larger length
 /// prefixes are rejected before allocation.

@@ -35,7 +35,7 @@
 //! drain finishes.
 
 use crate::proto::{read_json, write_frame, write_json, Request, Response};
-use digiq_core::engine::{EvalEngine, RunControl, SweepSpec};
+use digiq_core::engine::{DistributedConfig, EvalEngine, RunControl, SweepSpec};
 use digiq_core::store::{ArtifactStore, StoreConfig, SweepJournal};
 use sfq_hw::cost::CostModel;
 use sfq_hw::json::ToJson;
@@ -90,6 +90,11 @@ pub struct ServeConfig {
     /// mid-build; widening the build window makes those checks
     /// deterministic instead of a scheduler race.
     pub eval_delay: Option<std::time::Duration>,
+    /// With a cache dir, run sweeps through the distributed claim
+    /// protocol (this TTL as the stale-claim expiry) instead of the
+    /// plain journal: the daemon then cooperates with any external
+    /// `sweep --worker-id` processes sharing the same `--cache-dir`.
+    pub dist_claims_ttl: Option<std::time::Duration>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +108,7 @@ impl Default for ServeConfig {
             drain_after: None,
             interrupt_after: None,
             eval_delay: None,
+            dist_claims_ttl: None,
         }
     }
 }
@@ -249,6 +255,19 @@ impl Shared {
     fn run_sweep(&self, spec: &SweepSpec, workers: usize) -> Option<String> {
         let session = self.engine.session();
         if let Some(dir) = &self.cfg.store.cache_dir {
+            if let Some(ttl) = self.cfg.dist_claims_ttl {
+                // Claim-protocol mode: this daemon acts as one more
+                // distributed worker over the shared cache dir, so
+                // external `sweep --worker-id` processes can share the
+                // job pool. Falls back to a plain run if the claims dir
+                // is unusable.
+                let mut dcfg = DistributedConfig::new(format!("serve-{}", std::process::id()));
+                dcfg.claim_ttl = ttl;
+                return match session.run_distributed(spec, dir, &dcfg, Some(&self.draining)) {
+                    Ok(report) => report.map(|r| r.to_json_string()),
+                    Err(_) => Some(session.run_deterministic(spec, workers).to_json_string()),
+                };
+            }
             let journal_dir = ArtifactStore::journal_dir(dir);
             let Ok(journal) = SweepJournal::open(&journal_dir, spec.stable_key()) else {
                 // Journal unavailable: fall back to a plain run (still

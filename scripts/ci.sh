@@ -19,6 +19,11 @@
 #                                # (second run must report zero pass builds and
 #                                # byte-identical JSON), then interrupt a sweep
 #                                # and prove --resume merges byte-identically
+#   scripts/ci.sh --dist-smoke   # distributed sweep: 4 worker processes
+#                                # coordinating through claim files under one
+#                                # --cache-dir must merge byte-identical to the
+#                                # engine golden, including after a worker
+#                                # holding a claim is killed mid-sweep
 #   scripts/ci.sh --serve-smoke  # start the digiq-serve daemon on loopback,
 #                                # drive it with loadgen (duplicate concurrent
 #                                # requests must coalesce and every response
@@ -130,6 +135,41 @@ store_smoke() {
     echo "store smoke OK (warm start: zero pass builds; resume: byte-identical)"
 }
 
+# The distributed-sweep contract: N=4 single-thread worker processes
+# coordinating through claim files under one --cache-dir merge
+# byte-identical to the committed engine golden, and a worker killed
+# while holding a claim leaves a sweep the survivors finish (stale-claim
+# expiry) with the same bytes.
+dist_smoke() {
+    echo "==> distributed smoke: 4 worker processes + merge, vs golden"
+    local dir out sweep=./target/release/sweep
+    dir=$(mktemp -d); out=$(mktemp)
+    "$sweep" --smoke --distributed --n-workers 4 --cache-dir "$dir" \
+        > "$out" 2>/dev/null
+    diff -u tests/golden/engine_smoke.json "$out"
+    "$sweep" --smoke --merge --cache-dir "$dir" > "$out" 2>/dev/null
+    diff -u tests/golden/engine_smoke.json "$out"
+    rm -rf "$dir" "$out"
+
+    echo "==> distributed smoke: kill a claim-holding worker, survivors finish"
+    dir=$(mktemp -d); out=$(mktemp)
+    # A doomed worker claims a job and sits on it; SIGKILL takes its
+    # heartbeat with it, so the claim goes stale after the short TTL and
+    # the fresh workers below reclaim the job.
+    "$sweep" --smoke --worker-id 0 --n-workers 1 \
+        --claim-ttl-ms 400 --dist-hold-ms 30000 --cache-dir "$dir" \
+        >/dev/null 2>&1 &
+    local doomed=$!
+    sleep 1
+    kill -9 "$doomed" 2>/dev/null || true
+    wait "$doomed" 2>/dev/null || true
+    "$sweep" --smoke --distributed --n-workers 2 --claim-ttl-ms 400 \
+        --cache-dir "$dir" > "$out" 2>/dev/null
+    diff -u tests/golden/engine_smoke.json "$out"
+    rm -rf "$dir" "$out"
+    echo "distributed smoke OK (merge byte-identical; killed worker reclaimed)"
+}
+
 # wait_for_serve <log>: poll the daemon's stdout for its bound address
 # (port 0 resolves to a free port) and print it.
 wait_for_serve() {
@@ -211,15 +251,29 @@ if [[ "${1:-}" == "--store-smoke" ]]; then
     store_smoke
 fi
 
+if [[ "${1:-}" == "--dist-smoke" ]]; then
+    dist_smoke
+fi
+
 if [[ "${1:-}" == "--serve-smoke" ]]; then
     serve_smoke
 fi
 
-# The newest committed benchmark record (empty if none). `sort` works
-# because the names embed ISO dates (with optional _rN re-run suffixes
-# that sort after the plain date).
+# The newest committed benchmark record (empty if none). Names embed an
+# ISO date plus an optional _rN re-run suffix; N is compared numerically
+# (lexicographic sort would put _r10 before _r2) with the plain date
+# ranking as revision 0, i.e. before _r1.
 latest_bench() {
-    ls BENCH_*.json 2>/dev/null | sort | tail -n1
+    local f stem
+    for f in BENCH_*.json; do
+        [[ -e "$f" ]] || continue
+        stem=${f%.json}
+        if [[ "$stem" =~ ^(.*)_r([0-9]+)$ ]]; then
+            printf '%s %08d %s\n' "${BASH_REMATCH[1]}" "${BASH_REMATCH[2]}" "$f"
+        else
+            printf '%s %08d %s\n' "$stem" 0 "$f"
+        fi
+    done | sort | tail -n1 | awk '{print $3}'
 }
 
 # bench_record <out_json> [extra kernel flags...]: run the kernel
@@ -292,6 +346,7 @@ if [[ "${1:-}" == "--smoke" ]]; then
     pipeline_smoke
     cosim_smoke
     store_smoke
+    dist_smoke
     serve_smoke
 
     echo "==> examples"
