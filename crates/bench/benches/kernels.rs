@@ -4,7 +4,9 @@
 //!
 //! Runs on the std-only harness in `digiq_bench::timing` (no criterion —
 //! the workspace is offline and dependency-free). `--quick` shrinks the
-//! budgets for CI smoke runs; `--json-out FILE` additionally writes the
+//! budgets for CI smoke runs; `--filter SUBSTR` runs only the kernels
+//! whose name contains the substring (iterating on one hot path without
+//! paying for the rest); `--json-out FILE` additionally writes the
 //! collected stats as a JSON array (what `scripts/ci.sh --bench-json`
 //! records in `BENCH_<date>.json`).
 //!
@@ -24,10 +26,17 @@ use std::hint::black_box;
 struct Bench {
     h: Harness,
     counters: Vec<KernelCounters>,
+    /// `--filter SUBSTR`: only kernels whose name contains this run.
+    filter: Option<String>,
 }
 
 impl Bench {
     fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        if let Some(fl) = &self.filter {
+            if !name.contains(fl.as_str()) {
+                return;
+            }
+        }
         let (_, c) = qsim::counters::counted(|| black_box(f()));
         self.counters.push(c);
         self.h.bench(name, f);
@@ -82,20 +91,16 @@ fn bench_compile(h: &mut Bench) {
     use qcircuit::topology::Grid;
     let grid = Grid::new(8, 8);
     let circuit = lower_to_cz(&qcircuit::bench::ising_chain(64, 2, 0.3, 0.7));
+    let snake = Layout::snake(64, &grid);
     h.bench("route_ising64", || {
         route(
             black_box(&circuit),
             &grid,
-            Layout::snake(64, &grid),
+            black_box(&snake),
             &RouterConfig::default(),
         )
     });
-    let routed = route(
-        &circuit,
-        &grid,
-        Layout::snake(64, &grid),
-        &RouterConfig::default(),
-    );
+    let routed = route(&circuit, &grid, &snake, &RouterConfig::default());
     let phys = lower_to_cz(&routed.circuit);
     h.bench("schedule_ising64", || {
         qcircuit::schedule::schedule_crosstalk_aware(black_box(&phys), &grid)
@@ -113,7 +118,7 @@ fn bench_compile(h: &mut Bench) {
         h.bench(name, || {
             pipeline
                 .run(
-                    CompileArtifact::new(black_box(&logical).clone(), Layout::snake(64, &grid)),
+                    CompileArtifact::new(black_box(&logical).clone(), snake.clone()),
                     &grid,
                 )
                 .unwrap()
@@ -251,6 +256,7 @@ fn main() {
             Harness::standard()
         },
         counters: Vec::new(),
+        filter: digiq_bench::arg_value("--filter"),
     };
     bench_expm(&mut h);
     bench_bitstream(&mut h);

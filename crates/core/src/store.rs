@@ -46,7 +46,9 @@ use crate::exec::ExecReport;
 use crate::system::MinBasisKind;
 use qcircuit::ir::{Circuit, Gate, OneQ};
 use qcircuit::mapping::Layout;
-use qcircuit::pipeline::{CompileArtifact, PassMetrics, Pipeline, PipelineConfig};
+use qcircuit::pipeline::{
+    CompileArtifact, CompileWorkspace, PassMetrics, Pipeline, PipelineConfig,
+};
 use qcircuit::topology::Grid;
 use sfq_hw::json::{Json, ToJson};
 use std::any::Any;
@@ -560,34 +562,30 @@ impl ArtifactStore {
         })
     }
 
-    /// Counter/eviction bookkeeping after a lookup. The resident count
-    /// was already incremented inside the init closure (before the slot
-    /// became visible to eviction), so a concurrent eviction of the
-    /// fresh entry can never decrement a count that was not yet added.
-    /// `coalesced` marks a hit that arrived while another caller's build
-    /// of the same key was still in flight (the lookup blocked on — or
-    /// raced with — that build instead of running its own); coalesced
-    /// hits are counted inside `hits` too.
-    fn account(&self, ns: &str, initialized: bool, from_disk: bool, coalesced: bool) {
-        {
-            let mut map = lock_unpoisoned(&self.counters);
-            let c = map.entry(ns.to_string()).or_default();
-            if initialized {
-                c.misses += 1;
-                if from_disk {
-                    c.disk_hits += 1;
-                } else {
-                    c.builds += 1;
-                }
-            } else {
-                c.hits += 1;
-                if coalesced {
-                    c.coalesced += 1;
-                }
-            }
-        }
+    /// Counter bookkeeping for one lookup. For misses this runs *inside*
+    /// the init closure — before the slot's value becomes visible — so a
+    /// coalesced waiter can never observe the artifact while its build is
+    /// still uncounted (stats readers rely on `builds >= 1` the moment a
+    /// result exists; the old post-init accounting raced them on fast
+    /// paths). `coalesced` marks a hit that arrived while another
+    /// caller's build of the same key was still in flight (the lookup
+    /// blocked on — or raced with — that build instead of running its
+    /// own); coalesced hits are counted inside `hits` too.
+    fn count_lookup(&self, ns: &str, initialized: bool, from_disk: bool, coalesced: bool) {
+        let mut map = lock_unpoisoned(&self.counters);
+        let c = map.entry(ns.to_string()).or_default();
         if initialized {
-            self.evict_to_capacity();
+            c.misses += 1;
+            if from_disk {
+                c.disk_hits += 1;
+            } else {
+                c.builds += 1;
+            }
+        } else {
+            c.hits += 1;
+            if coalesced {
+                c.coalesced += 1;
+            }
         }
     }
 
@@ -610,10 +608,15 @@ impl ArtifactStore {
                 initialized = true;
                 let value = Arc::new(build()) as ArcAny;
                 self.resident.fetch_add(1, Ordering::Relaxed);
+                self.count_lookup(ns, true, false, false);
                 value
             })
             .clone();
-        self.account(ns, initialized, false, pending && !initialized);
+        if initialized {
+            self.evict_to_capacity();
+        } else {
+            self.count_lookup(ns, false, false, pending);
+        }
         (Self::downcast(ns, any), initialized)
     }
 
@@ -641,10 +644,10 @@ impl ArtifactStore {
         let slot = self.slot(ns, key);
         let pending = slot.get().is_none();
         let mut initialized = false;
-        let mut from_disk = false;
         let any = slot
             .get_or_init(|| {
                 initialized = true;
+                let mut from_disk = false;
                 let value = match self.disk_load::<T>(ns, key) {
                     Some(v) => {
                         from_disk = true;
@@ -657,10 +660,15 @@ impl ArtifactStore {
                     }
                 };
                 self.resident.fetch_add(1, Ordering::Relaxed);
+                self.count_lookup(ns, true, from_disk, false);
                 value
             })
             .clone();
-        self.account(ns, initialized, from_disk, pending && !initialized);
+        if initialized {
+            self.evict_to_capacity();
+        } else {
+            self.count_lookup(ns, false, false, pending);
+        }
         (Self::downcast(ns, any), initialized)
     }
 
@@ -1082,6 +1090,7 @@ pub fn compile_cached(
 
     let mut artifact: Option<Arc<CompileArtifact>> = None;
     let mut final_missed = false;
+    let mut ws = CompileWorkspace::new();
     for (stage, &key) in pipeline.stages().iter().zip(&keys) {
         let namespace = ns::stage(stage.label());
         let prev = artifact.clone();
@@ -1092,7 +1101,7 @@ pub fn compile_cached(
                 None => CompileArtifact::new(circuit.clone(), layout.clone()),
             };
             let m = stage
-                .run_timed(&mut next, grid)
+                .run_timed(&mut next, grid, &mut ws)
                 .unwrap_or_else(|e| panic!("compile pipeline: {e}"));
             metrics = Some(m);
             next

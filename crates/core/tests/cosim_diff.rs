@@ -38,7 +38,7 @@ fn compile(bench: Benchmark, grid: &Grid) -> (Circuit, Vec<Slot>) {
     let routed = route(
         &lowered,
         grid,
-        Layout::snake(circuit.n_qubits(), grid),
+        &Layout::snake(circuit.n_qubits(), grid),
         &RouterConfig::default(),
     );
     let physical = lower_to_cz(&routed.circuit);

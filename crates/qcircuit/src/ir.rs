@@ -130,16 +130,46 @@ pub enum Gate {
     },
 }
 
+/// The qubits of one gate, held inline (no heap allocation) — what the
+/// compile-path hot loops (`moments`, the schedulers, the validators)
+/// iterate instead of the `Vec` returned by [`Gate::qubits`].
+#[derive(Debug, Clone, Copy)]
+pub struct GateQubits {
+    buf: [usize; 3],
+    len: u8,
+}
+
+impl GateQubits {
+    /// The qubits as a slice (1–3 entries).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a GateQubits {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 impl Gate {
     /// The qubits this gate touches.
     pub fn qubits(&self) -> Vec<usize> {
-        match *self {
-            Gate::OneQ { q, .. } => vec![q],
-            Gate::Cx { c, t } => vec![c, t],
-            Gate::Cz { a, b } => vec![a, b],
-            Gate::Swap { a, b } => vec![a, b],
-            Gate::Ccx { c1, c2, t } => vec![c1, c2, t],
-        }
+        self.qubits_inline().as_slice().to_vec()
+    }
+
+    /// The qubits this gate touches, without allocating.
+    pub fn qubits_inline(&self) -> GateQubits {
+        let (buf, len) = match *self {
+            Gate::OneQ { q, .. } => ([q, 0, 0], 1),
+            Gate::Cx { c, t } => ([c, t, 0], 2),
+            Gate::Cz { a, b } => ([a, b, 0], 2),
+            Gate::Swap { a, b } => ([a, b, 0], 2),
+            Gate::Ccx { c1, c2, t } => ([c1, c2, t], 3),
+        };
+        GateQubits { buf, len }
     }
 
     /// True for any multi-qubit gate.
@@ -227,6 +257,15 @@ impl Circuit {
         &self.gates
     }
 
+    /// Clears the circuit in place for reuse as a builder over
+    /// `n_qubits`, keeping the gate buffer's capacity (the workspace
+    /// idiom of the routers: repeated compiles stop reallocating once
+    /// the buffer has grown to the largest circuit seen).
+    pub fn reset(&mut self, n_qubits: usize) {
+        self.n_qubits = n_qubits;
+        self.gates.clear();
+    }
+
     /// Appends a gate.
     ///
     /// # Panics
@@ -234,8 +273,9 @@ impl Circuit {
     /// Panics if any referenced qubit is out of range, or a multi-qubit
     /// gate repeats a qubit.
     pub fn push(&mut self, gate: Gate) {
-        let qs = gate.qubits();
-        for &q in &qs {
+        let qs = gate.qubits_inline();
+        let qs = qs.as_slice();
+        for &q in qs {
             assert!(
                 q < self.n_qubits,
                 "qubit {q} out of range {}",
@@ -403,8 +443,8 @@ impl Circuit {
         let mut level = vec![0usize; self.n_qubits];
         let mut depth = 0;
         for g in &self.gates {
-            let qs = g.qubits();
-            let l = qs.iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
+            let qs = g.qubits_inline();
+            let l = qs.as_slice().iter().map(|&q| level[q]).max().unwrap_or(0) + 1;
             for &q in &qs {
                 level[q] = l;
             }
@@ -415,21 +455,41 @@ impl Circuit {
 
     /// ASAP layering: partitions gate indices into parallel moments.
     pub fn moments(&self) -> Vec<Vec<usize>> {
-        let mut level = vec![0usize; self.n_qubits];
-        let mut moments: Vec<Vec<usize>> = Vec::new();
+        let mut scratch = MomentScratch::default();
+        self.moments_into(&mut scratch);
+        scratch.moments.truncate(scratch.active);
+        scratch.moments
+    }
+
+    /// ASAP layering into reusable scratch buffers: the workspace form
+    /// of [`Circuit::moments`] the schedulers run so repeated compiles
+    /// stop allocating per dependency level. Read the result with
+    /// [`MomentScratch::slots`].
+    pub fn moments_into(&self, scratch: &mut MomentScratch) {
+        scratch.level.clear();
+        scratch.level.resize(self.n_qubits, 0);
+        scratch.active = 0;
         for (i, g) in self.gates.iter().enumerate() {
-            let qs = g.qubits();
-            let l = qs.iter().map(|&q| level[q]).max().unwrap_or(0);
+            let qs = g.qubits_inline();
+            let l = qs
+                .as_slice()
+                .iter()
+                .map(|&q| scratch.level[q])
+                .max()
+                .unwrap_or(0);
             for &q in &qs {
-                level[q] = l + 1;
+                scratch.level[q] = l + 1;
             }
-            if moments.len() <= l {
-                qsim::counters::tally_allocs((l + 1 - moments.len()) as u64);
-                moments.resize_with(l + 1, Vec::new);
+            while scratch.active <= l {
+                if scratch.active == scratch.moments.len() {
+                    scratch.moments.push(Vec::new());
+                } else {
+                    scratch.moments[scratch.active].clear();
+                }
+                scratch.active += 1;
             }
-            moments[l].push(i);
+            scratch.moments[l].push(i);
         }
-        moments
     }
 
     /// Average gate parallelism: gates per moment.
@@ -440,6 +500,24 @@ impl Circuit {
         } else {
             self.len() as f64 / d as f64
         }
+    }
+}
+
+/// Reusable scratch for [`Circuit::moments_into`]: per-qubit dependency
+/// levels plus a pool of moment buckets that grows to the deepest
+/// circuit seen and is then reused allocation-free.
+#[derive(Debug, Default)]
+pub struct MomentScratch {
+    level: Vec<usize>,
+    moments: Vec<Vec<usize>>,
+    active: usize,
+}
+
+impl MomentScratch {
+    /// The moments of the last [`Circuit::moments_into`] call (gate
+    /// indices per parallel layer, in program order).
+    pub fn slots(&self) -> &[Vec<usize>] {
+        &self.moments[..self.active]
     }
 }
 

@@ -27,7 +27,7 @@
 //!
 //! let grid = Grid::new(4, 4);
 //! let circuit = lower_to_cz(&ising_chain(16, 1, 0.3, 0.7));
-//! let routed = route(&circuit, &grid, Layout::snake(16, &grid),
+//! let routed = route(&circuit, &grid, &Layout::snake(16, &grid),
 //!                    &RouterConfig::default());
 //! let slots = schedule_crosstalk_aware(&routed.circuit, &grid);
 //! assert!(!slots.is_empty());

@@ -23,7 +23,7 @@
 //! let mut c = Circuit::new(4);
 //! c.cz(0, 3);
 //! let grid = Grid::new(2, 2);
-//! let routed = route(&c, &grid, Layout::identity(4, 4), &RouterConfig::default());
+//! let routed = route(&c, &grid, &Layout::identity(4, 4), &RouterConfig::default());
 //! // All CZs now nearest-neighbour.
 //! assert!(routed.is_hardware_compliant(&grid));
 //! ```
@@ -143,7 +143,20 @@ impl Layout {
         h.finish()
     }
 
+    /// Overwrites `self` with `src`, reusing the existing buffers — the
+    /// workspace idiom: once capacities have grown to the largest layout
+    /// seen, repeated copies allocate nothing.
+    pub fn copy_from(&mut self, src: &Layout) {
+        self.log_to_phys.clear();
+        self.log_to_phys.extend_from_slice(&src.log_to_phys);
+        self.phys_to_log.clear();
+        self.phys_to_log.extend_from_slice(&src.phys_to_log);
+    }
+
     /// Applies a SWAP between two physical qubits (either may be empty).
+    /// Involutive: applying the same swap twice restores the layout —
+    /// the routers score trial swaps with an apply/undo pair instead of
+    /// cloning.
     pub fn swap_physical(&mut self, pa: usize, pb: usize) {
         let la = self.phys_to_log[pa];
         let lb = self.phys_to_log[pb];
@@ -205,31 +218,114 @@ impl RoutedCircuit {
     }
 }
 
+/// Reusable scratch for the routers — the allocation-free hot-loop
+/// contract of the compile path. Holds the upcoming two-qubit endpoint
+/// list, the per-SWAP-iteration window of precomputed front-gate
+/// distances, the trial layout driven by [`Layout::swap_physical`]
+/// apply/undo pairs, and the output circuit under construction. Buffers
+/// grow to the largest circuit routed and are then reused; only the
+/// returned [`RoutedCircuit`] (circuit + final layout) is materialized
+/// fresh, so a warm route call performs O(1) heap allocations.
+///
+/// The plain [`route`] / [`route_lookahead`] entry points keep one
+/// workspace per thread; [`route_with`] / [`route_lookahead_with`] take
+/// an explicit workspace (what the pass pipeline threads through its
+/// stages).
+#[derive(Debug)]
+pub struct RouteWorkspace {
+    upcoming: Vec<(usize, usize)>,
+    base_d: Vec<usize>,
+    layout: Layout,
+    out: Circuit,
+}
+
+impl Default for RouteWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouteWorkspace {
+    /// An empty workspace; buffers grow on first use and stay allocated.
+    pub fn new() -> Self {
+        RouteWorkspace {
+            upcoming: Vec::new(),
+            base_d: Vec::new(),
+            layout: Layout::identity(0, 0),
+            out: Circuit::new(0),
+        }
+    }
+
+    /// Refills the upcoming two-qubit endpoint list and sizes the
+    /// window buffer, without allocating once grown.
+    fn prepare(&mut self, c: &Circuit, window: usize) {
+        self.upcoming.clear();
+        self.upcoming
+            .extend(c.gates().iter().filter_map(|g| match *g {
+                Gate::Cz { a, b } => Some((a, b)),
+                _ => None,
+            }));
+        if self.base_d.len() < window {
+            self.base_d.resize(window, 0);
+        }
+    }
+}
+
+thread_local! {
+    static ROUTE_WS: std::cell::RefCell<RouteWorkspace> =
+        std::cell::RefCell::new(RouteWorkspace::new());
+}
+
 /// Routes a lowered circuit onto the grid (see module docs). Runs
 /// `cfg.trials` seeded attempts and returns the one with the fewest
-/// SWAPs.
+/// SWAPs. Uses a per-thread [`RouteWorkspace`], so repeated calls are
+/// allocation-free apart from the returned artifact.
 ///
 /// # Panics
 ///
 /// Panics if the circuit contains un-lowered `CX`/`CCX`/`SWAP` gates, or
 /// needs more qubits than the grid provides.
-pub fn route(c: &Circuit, grid: &Grid, initial: Layout, cfg: &RouterConfig) -> RoutedCircuit {
+pub fn route(c: &Circuit, grid: &Grid, initial: &Layout, cfg: &RouterConfig) -> RoutedCircuit {
+    ROUTE_WS.with(|ws| match ws.try_borrow_mut() {
+        Ok(mut ws) => route_with(&mut ws, c, grid, initial, cfg),
+        // Re-entrant call (route inside route): fall back to a fresh
+        // workspace rather than panicking on the double borrow.
+        Err(_) => route_with(&mut RouteWorkspace::new(), c, grid, initial, cfg),
+    })
+}
+
+/// [`route`] with an explicit workspace (the pipeline's form).
+///
+/// # Panics
+///
+/// Same contract as [`route`].
+pub fn route_with(
+    ws: &mut RouteWorkspace,
+    c: &Circuit,
+    grid: &Grid,
+    initial: &Layout,
+    cfg: &RouterConfig,
+) -> RoutedCircuit {
     crate::lower::assert_lowered(c, "route");
     assert!(c.n_qubits() <= grid.n_qubits());
+    ws.prepare(c, cfg.lookahead);
     let mut best: Option<RoutedCircuit> = None;
     for t in 0..cfg.trials.max(1) {
-        qsim::counters::tally_alloc(); // per-trial starting-layout clone
-        let r = route_once(
-            c,
-            grid,
-            initial.clone(),
-            cfg.seed.wrapping_add(t as u64),
-            cfg,
-        );
-        if best.as_ref().map_or(true, |b| r.swap_count < b.swap_count) {
-            best = Some(r);
+        let swap_count =
+            route_once_into(ws, c, grid, initial, cfg.seed.wrapping_add(t as u64), cfg);
+        // Strictly-fewer-swaps keeps the FIRST minimal trial, matching
+        // the historical selection; only improving trials materialize.
+        if best.as_ref().map_or(true, |b| swap_count < b.swap_count) {
+            best = Some(RoutedCircuit {
+                circuit: ws.out.clone(),
+                final_layout: ws.layout.clone(),
+                swap_count,
+            });
         }
     }
+    // Exactly the two materialized output buffers (routed circuit +
+    // final layout) per call — losing trials live in the workspace.
+    qsim::counters::tally_allocs(2);
     best.expect("at least one trial")
 }
 
@@ -248,28 +344,37 @@ pub fn route(c: &Circuit, grid: &Grid, initial: Layout, cfg: &RouterConfig) -> R
 ///
 /// Panics if the circuit contains un-lowered `CX`/`CCX`/`SWAP` gates, or
 /// needs more qubits than the grid provides.
-pub fn route_lookahead(
+pub fn route_lookahead(c: &Circuit, grid: &Grid, initial: &Layout, window: usize) -> RoutedCircuit {
+    ROUTE_WS.with(|ws| match ws.try_borrow_mut() {
+        Ok(mut ws) => route_lookahead_with(&mut ws, c, grid, initial, window),
+        Err(_) => route_lookahead_with(&mut RouteWorkspace::new(), c, grid, initial, window),
+    })
+}
+
+/// [`route_lookahead`] with an explicit workspace (the pipeline's form).
+///
+/// # Panics
+///
+/// Same contract as [`route_lookahead`].
+pub fn route_lookahead_with(
+    ws: &mut RouteWorkspace,
     c: &Circuit,
     grid: &Grid,
-    mut layout: Layout,
+    initial: &Layout,
     window: usize,
 ) -> RoutedCircuit {
     crate::lower::assert_lowered(c, "route");
     assert!(c.n_qubits() <= grid.n_qubits());
-    let mut out = Circuit::new(grid.n_qubits());
-    qsim::counters::tally_alloc(); // fresh routed circuit
-
+    ws.prepare(c, window);
+    let RouteWorkspace {
+        upcoming,
+        base_d,
+        layout,
+        out,
+    } = ws;
+    layout.copy_from(initial);
+    out.reset(grid.n_qubits());
     let mut swap_count = 0usize;
-
-    let upcoming: Vec<(usize, usize)> = c
-        .gates()
-        .iter()
-        .filter_map(|g| match *g {
-            Gate::Cz { a, b } => Some((a, b)),
-            _ => None,
-        })
-        .collect();
-    qsim::counters::tally_alloc(); // lookahead endpoint list
     let mut next_2q = 0usize;
 
     for g in c.gates() {
@@ -285,31 +390,51 @@ pub fn route_lookahead(
                     if d == 1 {
                         break;
                     }
+                    // Window front-gate distances, computed once per SWAP
+                    // iteration; candidates below patch only the gates
+                    // whose endpoints ride the swapped pair.
+                    let mut window_len = 0usize;
+                    for k in 0..window {
+                        let idx = next_2q + 1 + k;
+                        if idx >= upcoming.len() {
+                            break;
+                        }
+                        let (x, y) = upcoming[idx];
+                        base_d[k] = grid.distance(layout.phys(x), layout.phys(y));
+                        window_len = k + 1;
+                    }
                     // Best candidate under the window score; ties break on
                     // the (endpoint, neighbour) pair for full determinism.
                     let mut best: Option<(usize, usize, f64)> = None;
                     for &(end, other) in &[(pa, pb), (pb, pa)] {
-                        for n in grid.neighbors(end) {
+                        for n in grid.neighbors_iter(end) {
                             let d_after = grid.distance(n, other);
                             if d_after >= d {
                                 continue;
                             }
-                            let mut trial = layout.clone();
-                            qsim::counters::tally_alloc(); // scored layout scratch
-                            trial.swap_physical(end, n);
+                            // Trial swap applied in place and undone below
+                            // (swap_physical is involutive) — no clone.
+                            let occ_end = layout.logical(end);
+                            let occ_n = layout.logical(n);
+                            layout.swap_physical(end, n);
                             // Window cost: the current gate counts as the
                             // window's head, pending gates decay harmonically.
                             let mut score = d_after as f64;
-                            for k in 0..window {
-                                let idx = next_2q + 1 + k;
-                                if idx >= upcoming.len() {
-                                    break;
-                                }
-                                let (x, y) = upcoming[idx];
-                                score += grid.distance(trial.phys(x), trial.phys(y)) as f64
-                                    / (k + 2) as f64;
+                            for (k, &bd) in base_d.iter().enumerate().take(window_len) {
+                                let (x, y) = upcoming[next_2q + 1 + k];
+                                let moved = occ_end == Some(x)
+                                    || occ_end == Some(y)
+                                    || occ_n == Some(x)
+                                    || occ_n == Some(y);
+                                let dk = if moved {
+                                    grid.distance(layout.phys(x), layout.phys(y))
+                                } else {
+                                    bd
+                                };
+                                score += dk as f64 / (k + 2) as f64;
                                 qsim::counters::tally_flops(2); // divide + accumulate
                             }
+                            layout.swap_physical(end, n); // undo
                             let better = match best {
                                 None => true,
                                 Some((be, bn, bs)) => {
@@ -333,35 +458,34 @@ pub fn route_lookahead(
         }
     }
 
+    qsim::counters::tally_allocs(2); // materialized routed circuit + final layout
     RoutedCircuit {
-        circuit: out,
-        final_layout: layout,
+        circuit: out.clone(),
+        final_layout: layout.clone(),
         swap_count,
     }
 }
 
-fn route_once(
+/// One greedy trial, built into the workspace's `out`/`layout` buffers.
+/// Returns the trial's SWAP count; the caller materializes the winner.
+fn route_once_into(
+    ws: &mut RouteWorkspace,
     c: &Circuit,
     grid: &Grid,
-    mut layout: Layout,
+    initial: &Layout,
     seed: u64,
     cfg: &RouterConfig,
-) -> RoutedCircuit {
+) -> usize {
+    let RouteWorkspace {
+        upcoming,
+        base_d,
+        layout,
+        out,
+    } = ws;
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut out = Circuit::new(grid.n_qubits());
-    qsim::counters::tally_alloc(); // fresh routed circuit
+    layout.copy_from(initial);
+    out.reset(grid.n_qubits());
     let mut swap_count = 0usize;
-
-    // Pre-extract upcoming 2q endpoints for lookahead.
-    let upcoming: Vec<(usize, usize)> = c
-        .gates()
-        .iter()
-        .filter_map(|g| match *g {
-            Gate::Cz { a, b } => Some((a, b)),
-            _ => None,
-        })
-        .collect();
-    qsim::counters::tally_alloc(); // lookahead endpoint list
     let mut next_2q = 0usize; // index into `upcoming` of the current gate
 
     for g in c.gates() {
@@ -378,41 +502,63 @@ fn route_once(
                     if d == 1 {
                         break;
                     }
+                    // Window front-gate distances, once per SWAP iteration
+                    // instead of once per candidate.
+                    let mut window_len = 0usize;
+                    for k in 0..cfg.lookahead {
+                        let idx = next_2q + 1 + k;
+                        if idx >= upcoming.len() {
+                            break;
+                        }
+                        let (x, y) = upcoming[idx];
+                        base_d[k] = grid.distance(layout.phys(x), layout.phys(y));
+                        window_len = k + 1;
+                    }
                     // Candidate swaps: neighbours of either endpoint that
-                    // strictly reduce the endpoint distance.
-                    let mut cands: Vec<(usize, usize, f64)> = Vec::new();
+                    // strictly reduce the endpoint distance. The running
+                    // strictly-less best keeps the FIRST minimal score —
+                    // exactly what `min_by` over the candidate list
+                    // returned — and the RNG draws stay in candidate
+                    // order, so results are bit-identical.
+                    let mut best: Option<(usize, usize, f64)> = None;
                     for &(end, other) in &[(pa, pb), (pb, pa)] {
-                        for n in grid.neighbors(end) {
+                        for n in grid.neighbors_iter(end) {
                             let d_after = grid.distance(n, other);
                             if d_after < d {
                                 // Lookahead: how do pending gates like it?
+                                // Trial swap applied in place, undone after
+                                // scoring (swap_physical is involutive).
+                                let occ_end = layout.logical(end);
+                                let occ_n = layout.logical(n);
+                                layout.swap_physical(end, n);
                                 let mut la = 0.0;
-                                let mut trial = layout.clone();
-                                qsim::counters::tally_alloc(); // scored layout scratch
-                                trial.swap_physical(end, n);
-                                for k in 0..cfg.lookahead {
-                                    let idx = next_2q + 1 + k;
-                                    if idx >= upcoming.len() {
-                                        break;
-                                    }
-                                    let (x, y) = upcoming[idx];
-                                    la += grid.distance(trial.phys(x), trial.phys(y)) as f64
-                                        / (k + 1) as f64;
+                                for (k, &bd) in base_d.iter().enumerate().take(window_len) {
+                                    let (x, y) = upcoming[next_2q + 1 + k];
+                                    let moved = occ_end == Some(x)
+                                        || occ_end == Some(y)
+                                        || occ_n == Some(x)
+                                        || occ_n == Some(y);
+                                    let dk = if moved {
+                                        grid.distance(layout.phys(x), layout.phys(y))
+                                    } else {
+                                        bd
+                                    };
+                                    la += dk as f64 / (k + 1) as f64;
                                     qsim::counters::tally_flops(2); // divide + accumulate
                                 }
+                                layout.swap_physical(end, n); // undo
                                 let score = d_after as f64
                                     + cfg.lookahead_weight * la
                                     + rng.gen::<f64>() * 1e-3;
                                 // Weight multiply, two adds, tie-break scale.
                                 qsim::counters::tally_flops(4);
-                                cands.push((end, n, score));
+                                if best.map_or(true, |(_, _, bs)| score < bs) {
+                                    best = Some((end, n, score));
+                                }
                             }
                         }
                     }
-                    let &(x, y, _) = cands
-                        .iter()
-                        .min_by(|p, q| p.2.partial_cmp(&q.2).unwrap())
-                        .expect("a distance-reducing swap always exists on a grid");
+                    let (x, y, _) = best.expect("a distance-reducing swap always exists on a grid");
                     out.swap(x, y);
                     layout.swap_physical(x, y);
                     swap_count += 1;
@@ -424,11 +570,7 @@ fn route_once(
         }
     }
 
-    RoutedCircuit {
-        circuit: out,
-        final_layout: layout,
-        swap_count,
-    }
+    swap_count
 }
 
 #[cfg(test)]
@@ -475,7 +617,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.cz(0, 1);
         let grid = Grid::new(2, 2);
-        let r = route(&c, &grid, Layout::identity(2, 4), &RouterConfig::default());
+        let r = route(&c, &grid, &Layout::identity(2, 4), &RouterConfig::default());
         assert_eq!(r.swap_count, 0);
         assert_eq!(r.circuit.len(), 1);
     }
@@ -488,7 +630,7 @@ mod tests {
         let r = route(
             &c,
             &grid,
-            Layout::identity(16, 16),
+            &Layout::identity(16, 16),
             &RouterConfig::default(),
         );
         assert!(r.is_hardware_compliant(&grid));
@@ -506,7 +648,7 @@ mod tests {
         c.cz(0, 3);
         c.h(3);
         c.cz(1, 2);
-        let r = route(&c, &grid, Layout::identity(4, 4), &RouterConfig::default());
+        let r = route(&c, &grid, &Layout::identity(4, 4), &RouterConfig::default());
         assert!(r.is_hardware_compliant(&grid));
 
         // Simulate both; account for the final layout permutation.
@@ -532,7 +674,7 @@ mod tests {
         let r = route(
             &chain,
             &grid,
-            Layout::snake(64, &grid),
+            &Layout::snake(64, &grid),
             &RouterConfig::default(),
         );
         assert_eq!(r.swap_count, 0, "snake-embedded chain needs no swaps");
@@ -548,7 +690,7 @@ mod tests {
         let r = route(
             &c,
             &grid,
-            Layout::snake(32, &grid),
+            &Layout::snake(32, &grid),
             &RouterConfig::default(),
         );
         assert!(r.is_hardware_compliant(&grid));
@@ -566,7 +708,7 @@ mod tests {
         let single = route(
             &c,
             &grid,
-            Layout::identity(16, 16),
+            &Layout::identity(16, 16),
             &RouterConfig {
                 trials: 1,
                 ..RouterConfig::default()
@@ -575,7 +717,7 @@ mod tests {
         let multi = route(
             &c,
             &grid,
-            Layout::identity(16, 16),
+            &Layout::identity(16, 16),
             &RouterConfig {
                 trials: 6,
                 ..RouterConfig::default()
@@ -591,8 +733,8 @@ mod tests {
         c.cz(0, 15);
         c.cz(3, 12);
         let cfg = RouterConfig::default();
-        let a = route(&c, &grid, Layout::identity(16, 16), &cfg);
-        let b = route(&c, &grid, Layout::identity(16, 16), &cfg);
+        let a = route(&c, &grid, &Layout::identity(16, 16), &cfg);
+        let b = route(&c, &grid, &Layout::identity(16, 16), &cfg);
         assert_eq!(a.circuit, b.circuit);
     }
 

@@ -44,12 +44,43 @@
 
 use crate::ir::Circuit;
 use crate::lower::{fuse_single_qubit_runs, lower_to_cz};
-use crate::mapping::{route, route_lookahead, Layout, RouterConfig};
+use crate::mapping::{route_lookahead_with, route_with, Layout, RouteWorkspace, RouterConfig};
 use crate::schedule::{
-    schedule_asap, schedule_crosstalk_aware, validate_schedule, validate_schedule_structural, Slot,
+    schedule_asap, schedule_crosstalk_aware_with, validate_schedule_structural_with,
+    validate_schedule_with, ScheduleWorkspace, Slot, ValidateWorkspace,
 };
 use crate::topology::Grid;
 use qsim::rng::StableHasher;
+
+/// Reusable scratch shared by every pass of a pipeline run: the router's
+/// trial layout and candidate buffers, the scheduler's moment layering
+/// and colour-group pool, and the validator's stamp tables. A warm
+/// workspace makes a full [`Pipeline::standard`] compile allocate only
+/// its materialized outputs (routed circuit, final layout, slot list).
+///
+/// [`Pipeline::run`] keeps one per thread; [`Pipeline::run_with`] takes
+/// an explicit one for callers that manage their own reuse.
+#[derive(Debug, Default)]
+pub struct CompileWorkspace {
+    /// Router scratch ([`route_with`] / [`route_lookahead_with`]).
+    pub route: RouteWorkspace,
+    /// Scheduler scratch ([`schedule_crosstalk_aware_with`]).
+    pub schedule: ScheduleWorkspace,
+    /// Validator scratch ([`validate_schedule_with`]).
+    pub validate: ValidateWorkspace,
+}
+
+impl CompileWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+thread_local! {
+    static COMPILE_WS: std::cell::RefCell<CompileWorkspace> =
+        std::cell::RefCell::new(CompileWorkspace::new());
+}
 
 /// The artifact a pipeline threads through its passes: the circuit in its
 /// current form plus everything routing and scheduling accumulate.
@@ -131,12 +162,18 @@ pub trait Pass: Send + Sync {
     /// strategies or parameters. Stage cache keys chain these.
     fn fingerprint(&self) -> u64;
 
-    /// Applies the rewrite.
+    /// Applies the rewrite. `ws` is the run's shared scratch; passes may
+    /// freely clobber the sub-workspaces they use.
     ///
     /// # Errors
     ///
     /// Returns a description of why the pass cannot apply.
-    fn run(&self, artifact: &mut CompileArtifact, grid: &Grid) -> Result<(), String>;
+    fn run(
+        &self,
+        artifact: &mut CompileArtifact,
+        grid: &Grid,
+        ws: &mut CompileWorkspace,
+    ) -> Result<(), String>;
 
     /// Checks the pass's own output contract (the pipeline calls this
     /// after every [`Pass::run`]).
@@ -144,7 +181,12 @@ pub trait Pass: Send + Sync {
     /// # Errors
     ///
     /// Returns the first violated invariant.
-    fn post_validate(&self, _artifact: &CompileArtifact, _grid: &Grid) -> Result<(), String> {
+    fn post_validate(
+        &self,
+        _artifact: &CompileArtifact,
+        _grid: &Grid,
+        _ws: &mut CompileWorkspace,
+    ) -> Result<(), String> {
         Ok(())
     }
 }
@@ -162,12 +204,22 @@ impl Pass for LowerPass {
         pass_fingerprint("lower", &[1])
     }
 
-    fn run(&self, artifact: &mut CompileArtifact, _grid: &Grid) -> Result<(), String> {
+    fn run(
+        &self,
+        artifact: &mut CompileArtifact,
+        _grid: &Grid,
+        _ws: &mut CompileWorkspace,
+    ) -> Result<(), String> {
         artifact.circuit = lower_to_cz(&artifact.circuit);
         Ok(())
     }
 
-    fn post_validate(&self, artifact: &CompileArtifact, _grid: &Grid) -> Result<(), String> {
+    fn post_validate(
+        &self,
+        artifact: &CompileArtifact,
+        _grid: &Grid,
+        _ws: &mut CompileWorkspace,
+    ) -> Result<(), String> {
         if crate::lower::is_lowered(&artifact.circuit) {
             Ok(())
         } else {
@@ -190,12 +242,22 @@ impl Pass for FusePass {
         pass_fingerprint("fuse", &[1])
     }
 
-    fn run(&self, artifact: &mut CompileArtifact, _grid: &Grid) -> Result<(), String> {
+    fn run(
+        &self,
+        artifact: &mut CompileArtifact,
+        _grid: &Grid,
+        _ws: &mut CompileWorkspace,
+    ) -> Result<(), String> {
         artifact.circuit = fuse_single_qubit_runs(&artifact.circuit);
         Ok(())
     }
 
-    fn post_validate(&self, artifact: &CompileArtifact, _grid: &Grid) -> Result<(), String> {
+    fn post_validate(
+        &self,
+        artifact: &CompileArtifact,
+        _grid: &Grid,
+        _ws: &mut CompileWorkspace,
+    ) -> Result<(), String> {
         if crate::lower::is_lowered(&artifact.circuit) {
             Ok(())
         } else {
@@ -281,7 +343,12 @@ impl Pass for RoutePass {
         }
     }
 
-    fn run(&self, artifact: &mut CompileArtifact, grid: &Grid) -> Result<(), String> {
+    fn run(
+        &self,
+        artifact: &mut CompileArtifact,
+        grid: &Grid,
+        ws: &mut CompileWorkspace,
+    ) -> Result<(), String> {
         if artifact.circuit.n_qubits() > grid.n_qubits() {
             return Err(format!(
                 "circuit needs {} qubits but the grid has {}",
@@ -290,16 +357,18 @@ impl Pass for RoutePass {
             ));
         }
         let routed = match self.strategy {
-            RouteStrategy::Greedy => route(
+            RouteStrategy::Greedy => route_with(
+                &mut ws.route,
                 &artifact.circuit,
                 grid,
-                artifact.initial_layout.clone(),
+                &artifact.initial_layout,
                 &RouterConfig::default(),
             ),
-            RouteStrategy::Lookahead { window } => route_lookahead(
+            RouteStrategy::Lookahead { window } => route_lookahead_with(
+                &mut ws.route,
                 &artifact.circuit,
                 grid,
-                artifact.initial_layout.clone(),
+                &artifact.initial_layout,
                 window,
             ),
         };
@@ -309,7 +378,12 @@ impl Pass for RoutePass {
         Ok(())
     }
 
-    fn post_validate(&self, artifact: &CompileArtifact, grid: &Grid) -> Result<(), String> {
+    fn post_validate(
+        &self,
+        artifact: &CompileArtifact,
+        grid: &Grid,
+        _ws: &mut CompileWorkspace,
+    ) -> Result<(), String> {
         let compliant = artifact.circuit.gates().iter().all(|g| match *g {
             crate::ir::Gate::OneQ { .. } => true,
             crate::ir::Gate::Cz { a, b } | crate::ir::Gate::Swap { a, b } => {
@@ -382,26 +456,43 @@ impl Pass for SchedulePass {
         }
     }
 
-    fn run(&self, artifact: &mut CompileArtifact, grid: &Grid) -> Result<(), String> {
+    fn run(
+        &self,
+        artifact: &mut CompileArtifact,
+        grid: &Grid,
+        ws: &mut CompileWorkspace,
+    ) -> Result<(), String> {
         artifact.slots = Some(match self.strategy {
-            ScheduleStrategy::CrosstalkAware => schedule_crosstalk_aware(&artifact.circuit, grid),
+            ScheduleStrategy::CrosstalkAware => {
+                schedule_crosstalk_aware_with(&mut ws.schedule, &artifact.circuit, grid)
+            }
             ScheduleStrategy::Asap => schedule_asap(&artifact.circuit),
         });
         Ok(())
     }
 
     /// The crosstalk-aware strategy promises interference-free slots and
-    /// is held to the full [`validate_schedule`]; the ASAP strategy is
-    /// crosstalk-oblivious by contract, so it is checked structurally
-    /// (every gate once, disjoint qubits, program order) only.
-    fn post_validate(&self, artifact: &CompileArtifact, grid: &Grid) -> Result<(), String> {
+    /// is held to the full [`crate::schedule::validate_schedule`]; the
+    /// ASAP strategy is crosstalk-oblivious by contract, so it is checked
+    /// structurally (every gate once, disjoint qubits, program order)
+    /// only.
+    fn post_validate(
+        &self,
+        artifact: &CompileArtifact,
+        grid: &Grid,
+        ws: &mut CompileWorkspace,
+    ) -> Result<(), String> {
         let slots = artifact
             .slots
             .as_deref()
             .ok_or("scheduling pass produced no slots")?;
         match self.strategy {
-            ScheduleStrategy::CrosstalkAware => validate_schedule(&artifact.circuit, grid, slots),
-            ScheduleStrategy::Asap => validate_schedule_structural(&artifact.circuit, slots),
+            ScheduleStrategy::CrosstalkAware => {
+                validate_schedule_with(&mut ws.validate, &artifact.circuit, grid, slots)
+            }
+            ScheduleStrategy::Asap => {
+                validate_schedule_structural_with(&mut ws.validate, &artifact.circuit, slots)
+            }
         }
     }
 }
@@ -503,17 +594,18 @@ impl Stage {
         &self,
         artifact: &mut CompileArtifact,
         grid: &Grid,
+        ws: &mut CompileWorkspace,
     ) -> Result<PassMetrics, String> {
         let gates_before = artifact.circuit.len();
         let swaps_before = artifact.swaps;
         let slots_before = artifact.slots.as_ref().map(Vec::len);
         let t0 = std::time::Instant::now();
         self.pass
-            .run(artifact, grid)
+            .run(artifact, grid, ws)
             .map_err(|e| format!("pass `{}` failed: {e}", self.label))?;
         let wall_ns = t0.elapsed().as_nanos() as f64;
         self.pass
-            .post_validate(artifact, grid)
+            .post_validate(artifact, grid, ws)
             .map_err(|e| format!("pass `{}` post-validation failed: {e}", self.label))?;
         Ok(PassMetrics {
             pass: self.label.clone(),
@@ -644,19 +736,40 @@ impl Pipeline {
     }
 
     /// Runs every stage in order, validating after each, and returns the
-    /// final artifact with per-pass metrics.
+    /// final artifact with per-pass metrics. Uses a per-thread
+    /// [`CompileWorkspace`], so repeated compiles on one thread reuse
+    /// every pass's scratch buffers.
     ///
     /// # Errors
     ///
     /// Returns the first pass failure or post-validation violation.
     pub fn run(
         &self,
+        artifact: CompileArtifact,
+        grid: &Grid,
+    ) -> Result<(CompileArtifact, Vec<PassMetrics>), String> {
+        COMPILE_WS.with(|ws| match ws.try_borrow_mut() {
+            Ok(mut ws) => self.run_with(artifact, grid, &mut ws),
+            // Re-entrant compile (a pass itself compiling): fall back to
+            // a fresh workspace rather than aliasing the caller's.
+            Err(_) => self.run_with(artifact, grid, &mut CompileWorkspace::new()),
+        })
+    }
+
+    /// [`Pipeline::run`] with an explicit workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first pass failure or post-validation violation.
+    pub fn run_with(
+        &self,
         mut artifact: CompileArtifact,
         grid: &Grid,
+        ws: &mut CompileWorkspace,
     ) -> Result<(CompileArtifact, Vec<PassMetrics>), String> {
         let mut metrics = Vec::with_capacity(self.stages.len());
         for stage in &self.stages {
-            metrics.push(stage.run_timed(&mut artifact, grid)?);
+            metrics.push(stage.run_timed(&mut artifact, grid, ws)?);
         }
         Ok((artifact, metrics))
     }
@@ -666,6 +779,7 @@ impl Pipeline {
 mod tests {
     use super::*;
     use crate::bench;
+    use crate::schedule::{schedule_crosstalk_aware, validate_schedule};
 
     fn demo_circuit() -> Circuit {
         let mut c = Circuit::new(9);
@@ -686,7 +800,7 @@ mod tests {
 
         // The historical inline sequence.
         let lowered = lower_to_cz(&c);
-        let routed = route(&lowered, &grid, layout.clone(), &RouterConfig::default());
+        let routed = crate::mapping::route(&lowered, &grid, &layout, &RouterConfig::default());
         let physical = lower_to_cz(&routed.circuit);
         let slots = schedule_crosstalk_aware(&physical, &grid);
 
@@ -846,7 +960,12 @@ mod tests {
             fn fingerprint(&self) -> u64 {
                 pass_fingerprint("broken", &[])
             }
-            fn run(&self, artifact: &mut CompileArtifact, _grid: &Grid) -> Result<(), String> {
+            fn run(
+                &self,
+                artifact: &mut CompileArtifact,
+                _grid: &Grid,
+                _ws: &mut CompileWorkspace,
+            ) -> Result<(), String> {
                 artifact.slots = Some(vec![(0..artifact.circuit.len()).collect()]);
                 Ok(())
             }
@@ -854,8 +973,13 @@ mod tests {
                 &self,
                 artifact: &CompileArtifact,
                 _grid: &Grid,
+                ws: &mut CompileWorkspace,
             ) -> Result<(), String> {
-                validate_schedule_structural(&artifact.circuit, artifact.scheduled())
+                validate_schedule_structural_with(
+                    &mut ws.validate,
+                    &artifact.circuit,
+                    artifact.scheduled(),
+                )
             }
         }
 

@@ -13,12 +13,62 @@
 //! heavily-used logical qubits are steered away from high-error physical
 //! qubits.
 
-use crate::ir::{Circuit, Gate};
+use crate::ir::{Circuit, Gate, MomentScratch};
 use crate::topology::Grid;
 
 /// One executable time slot: gate indices (into the source circuit) whose
 /// gates touch disjoint qubits and whose CZs are pairwise non-interfering.
 pub type Slot = Vec<usize>;
+
+/// Reusable scratch for [`schedule_crosstalk_aware_with`]: the ASAP
+/// moment layering, the per-moment colour-group pool, and the epoch-
+/// stamped per-qubit interference masks. Warm reuse makes a schedule
+/// pass allocate only its materialized output.
+#[derive(Debug, Default)]
+pub struct ScheduleWorkspace {
+    moments: MomentScratch,
+    oneq: Vec<usize>,
+    /// Colour-group buffer pool; the first `active` (a per-moment local)
+    /// entries are live, the rest keep their capacity for reuse.
+    groups: Vec<Vec<usize>>,
+    /// Epoch stamp + blocked-group bitmask per physical qubit: bit `g`
+    /// set means "some CZ in colour group `g` touches this qubit or a
+    /// grid neighbour of it", valid only while the stamp matches the
+    /// current epoch (one epoch per moment — no clearing between them).
+    blk_stamp: Vec<u32>,
+    blk_mask: Vec<u64>,
+    epoch: u32,
+}
+
+impl ScheduleWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, n_qubits: usize) {
+        if self.blk_stamp.len() < n_qubits {
+            self.blk_stamp.resize(n_qubits, 0);
+            self.blk_mask.resize(n_qubits, 0);
+        }
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.blk_stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+thread_local! {
+    static SCHED_WS: std::cell::RefCell<ScheduleWorkspace> =
+        std::cell::RefCell::new(ScheduleWorkspace::new());
+    static VALIDATE_WS: std::cell::RefCell<ValidateWorkspace> =
+        std::cell::RefCell::new(ValidateWorkspace::new());
+}
 
 /// Returns true when two CZ gates interfere under the spectator-coupling
 /// model: some qubit of one is identical or grid-adjacent to some qubit
@@ -43,56 +93,126 @@ pub fn czs_interfere(grid: &Grid, a: (usize, usize), b: (usize, usize)) -> bool 
 ///
 /// Panics if the circuit contains gates other than 1q and CZ.
 pub fn schedule_crosstalk_aware(c: &Circuit, grid: &Grid) -> Vec<Slot> {
+    SCHED_WS.with(|ws| match ws.try_borrow_mut() {
+        Ok(mut ws) => schedule_crosstalk_aware_with(&mut ws, c, grid),
+        Err(_) => schedule_crosstalk_aware_with(&mut ScheduleWorkspace::new(), c, grid),
+    })
+}
+
+/// [`schedule_crosstalk_aware`] with an explicit workspace (the
+/// pipeline's form). Byte-identical output: the greedy colouring places
+/// each CZ into the first non-interfering group in creation order, here
+/// answered by the per-qubit blocked-group bitmask instead of a member
+/// scan — a group's blocked set is exactly "qubit or neighbour of a
+/// member", which is the [`czs_interfere`] predicate from the other side.
+///
+/// # Panics
+///
+/// Same contract as [`schedule_crosstalk_aware`].
+pub fn schedule_crosstalk_aware_with(
+    ws: &mut ScheduleWorkspace,
+    c: &Circuit,
+    grid: &Grid,
+) -> Vec<Slot> {
     crate::lower::assert_lowered(c, "scheduler");
+    ws.prepare(grid.n_qubits().max(c.n_qubits()));
     // First ASAP moments (dependency layering)…
-    let moments = c.moments();
+    c.moments_into(&mut ws.moments);
     let mut slots: Vec<Slot> = Vec::new();
-    for moment in moments {
+    for mi in 0..ws.moments.slots().len() {
+        let epoch = ws.next_epoch();
+        let ScheduleWorkspace {
+            moments,
+            oneq,
+            groups,
+            blk_stamp,
+            blk_mask,
+            ..
+        } = &mut *ws;
+        let moment = &moments.slots()[mi];
         // …then split each moment's CZs into non-interfering groups
         // (greedy colouring in index order).
-        let mut oneq: Slot = Vec::new();
-        let mut cz_groups: Vec<Vec<usize>> = Vec::new();
-        for gi in moment {
+        oneq.clear();
+        let mut active = 0usize;
+        for &gi in moment {
             match c.gates()[gi] {
                 Gate::OneQ { .. } => oneq.push(gi),
                 Gate::Cz { a, b } => {
-                    let mut placed = false;
-                    'groups: for group in cz_groups.iter_mut() {
-                        for &other in group.iter() {
-                            let (oa, ob) = match c.gates()[other] {
-                                Gate::Cz { a, b } => (a, b),
-                                _ => unreachable!(),
+                    // Groups blocked for this CZ, among the first 64.
+                    let blocked = |q: usize| {
+                        if blk_stamp[q] == epoch {
+                            blk_mask[q]
+                        } else {
+                            0
+                        }
+                    };
+                    let bm = blocked(a) | blocked(b);
+                    let mut g = bm.trailing_ones() as usize;
+                    if g >= active.min(64) {
+                        // Either every live maskable group is blocked or
+                        // the first free one doesn't exist yet; scan any
+                        // overflow groups (≥ 64, rare) the slow way.
+                        g = active;
+                        'groups: for (oi, group) in
+                            groups[64.min(active)..active].iter().enumerate()
+                        {
+                            for &other in group.iter() {
+                                let (oa, ob) = match c.gates()[other] {
+                                    Gate::Cz { a, b } => (a, b),
+                                    _ => unreachable!(),
+                                };
+                                if czs_interfere(grid, (a, b), (oa, ob)) {
+                                    continue 'groups;
+                                }
+                            }
+                            g = 64.min(active) + oi;
+                            break;
+                        }
+                    }
+                    if g == active {
+                        // Fresh colour group from the pool.
+                        if groups.len() == active {
+                            groups.push(Vec::new());
+                        }
+                        groups[active].clear();
+                        active += 1;
+                    }
+                    groups[g].push(gi);
+                    if g < 64 {
+                        for y in [a, b] {
+                            let mut mark = |q: usize| {
+                                if blk_stamp[q] != epoch {
+                                    blk_stamp[q] = epoch;
+                                    blk_mask[q] = 0;
+                                }
+                                blk_mask[q] |= 1 << g;
                             };
-                            if czs_interfere(grid, (a, b), (oa, ob)) {
-                                continue 'groups;
+                            mark(y);
+                            for n in grid.neighbors_iter(y) {
+                                mark(n);
                             }
                         }
-                        group.push(gi);
-                        placed = true;
-                        break;
-                    }
-                    if !placed {
-                        qsim::counters::tally_alloc(); // fresh CZ colour group
-                        cz_groups.push(vec![gi]);
                     }
                 }
                 _ => panic!("scheduler requires a lowered circuit"),
             }
         }
-        if cz_groups.is_empty() {
+        if active == 0 {
             if !oneq.is_empty() {
-                slots.push(oneq);
+                slots.push(oneq.clone());
             }
         } else {
             // 1q gates ride with the first CZ group.
-            let mut first = oneq;
-            first.extend_from_slice(&cz_groups[0]);
+            let mut first = Vec::with_capacity(oneq.len() + groups[0].len());
+            first.extend_from_slice(oneq);
+            first.extend_from_slice(&groups[0]);
             slots.push(first);
-            for g in cz_groups.into_iter().skip(1) {
-                slots.push(g);
+            for g in &groups[1..active] {
+                slots.push(g.clone());
             }
         }
     }
+    qsim::counters::tally_alloc(); // materialized slot list
     slots
 }
 
@@ -109,13 +229,63 @@ pub fn schedule_crosstalk_aware(c: &Circuit, grid: &Grid) -> Vec<Slot> {
 /// Panics if the circuit contains gates other than 1q and CZ.
 pub fn schedule_asap(c: &Circuit) -> Vec<Slot> {
     crate::lower::assert_lowered(c, "scheduler");
-    c.moments()
+    let slots = c.moments();
+    qsim::counters::tally_alloc(); // materialized slot list
+    slots
+}
+
+/// Reusable scratch for schedule validation: gate/qubit marker arrays
+/// plus epoch-stamped per-slot usage and interference-blocking tables —
+/// the per-slot `HashSet` and O(CZs²) pairwise scan of the original
+/// validator, flattened into stamped linear passes.
+#[derive(Debug, Default)]
+pub struct ValidateWorkspace {
+    seen: Vec<bool>,
+    order_of_gate: Vec<usize>,
+    /// `used_stamp[q] == epoch` ⇔ qubit `q` already used in this slot.
+    used_stamp: Vec<u32>,
+    /// `blk_stamp[q] == epoch` ⇔ an earlier CZ of this slot touches `q`
+    /// or a grid neighbour of `q` — the incremental interference check.
+    blk_stamp: Vec<u32>,
+    czs: Vec<(usize, usize)>,
+    last: Vec<usize>,
+    epoch: u32,
+}
+
+impl ValidateWorkspace {
+    /// A fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.used_stamp.iter_mut().for_each(|s| *s = 0);
+            self.blk_stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
 }
 
 /// Validates a schedule: every gate exactly once, disjoint qubits within a
 /// slot, per-qubit program order preserved, CZs non-interfering.
 pub fn validate_schedule(c: &Circuit, grid: &Grid, slots: &[Slot]) -> Result<(), String> {
-    validate_schedule_impl(c, Some(grid), slots)
+    VALIDATE_WS.with(|ws| match ws.try_borrow_mut() {
+        Ok(mut ws) => validate_schedule_impl(&mut ws, c, Some(grid), slots),
+        Err(_) => validate_schedule_impl(&mut ValidateWorkspace::new(), c, Some(grid), slots),
+    })
+}
+
+/// [`validate_schedule`] with an explicit workspace (the pipeline's form).
+pub fn validate_schedule_with(
+    ws: &mut ValidateWorkspace,
+    c: &Circuit,
+    grid: &Grid,
+    slots: &[Slot],
+) -> Result<(), String> {
+    validate_schedule_impl(ws, c, Some(grid), slots)
 }
 
 /// The structural subset of [`validate_schedule`]: every gate exactly
@@ -123,56 +293,88 @@ pub fn validate_schedule(c: &Circuit, grid: &Grid, slots: &[Slot]) -> Result<(),
 /// — **without** the CZ-interference check. The post-validation contract
 /// of deliberately crosstalk-oblivious schedulers.
 pub fn validate_schedule_structural(c: &Circuit, slots: &[Slot]) -> Result<(), String> {
-    validate_schedule_impl(c, None, slots)
+    VALIDATE_WS.with(|ws| match ws.try_borrow_mut() {
+        Ok(mut ws) => validate_schedule_impl(&mut ws, c, None, slots),
+        Err(_) => validate_schedule_impl(&mut ValidateWorkspace::new(), c, None, slots),
+    })
 }
 
-fn validate_schedule_impl(c: &Circuit, grid: Option<&Grid>, slots: &[Slot]) -> Result<(), String> {
-    let mut seen = vec![false; c.len()];
-    let mut last_slot_of_qubit = vec![None::<usize>; c.n_qubits()];
-    let mut order_of_gate = vec![usize::MAX; c.len()];
+/// [`validate_schedule_structural`] with an explicit workspace.
+pub fn validate_schedule_structural_with(
+    ws: &mut ValidateWorkspace,
+    c: &Circuit,
+    slots: &[Slot],
+) -> Result<(), String> {
+    validate_schedule_impl(ws, c, None, slots)
+}
+
+fn validate_schedule_impl(
+    ws: &mut ValidateWorkspace,
+    c: &Circuit,
+    grid: Option<&Grid>,
+    slots: &[Slot],
+) -> Result<(), String> {
+    ws.seen.clear();
+    ws.seen.resize(c.len(), false);
+    ws.order_of_gate.clear();
+    ws.order_of_gate.resize(c.len(), usize::MAX);
+    let nq = c.n_qubits().max(grid.map_or(0, |g| g.n_qubits()));
+    if ws.used_stamp.len() < nq {
+        ws.used_stamp.resize(nq, 0);
+        ws.blk_stamp.resize(nq, 0);
+    }
     for (si, slot) in slots.iter().enumerate() {
-        let mut used = std::collections::HashSet::new();
+        let epoch = ws.next_epoch();
+        ws.czs.clear();
         for &gi in slot {
-            if seen[gi] {
+            if ws.seen[gi] {
                 return Err(format!("gate {gi} scheduled twice"));
             }
-            seen[gi] = true;
-            order_of_gate[gi] = si;
-            for q in c.gates()[gi].qubits() {
-                if !used.insert(q) {
+            ws.seen[gi] = true;
+            ws.order_of_gate[gi] = si;
+            for &q in &c.gates()[gi].qubits_inline() {
+                if ws.used_stamp[q] == epoch {
                     return Err(format!("slot {si}: qubit {q} used twice"));
                 }
-                last_slot_of_qubit[q] = Some(si);
+                ws.used_stamp[q] = epoch;
+            }
+            if grid.is_some() {
+                if let Gate::Cz { a, b } = c.gates()[gi] {
+                    ws.czs.push((a, b));
+                }
             }
         }
-        // CZ interference check (skipped by the structural validator).
+        // CZ interference check (skipped by the structural validator):
+        // a CZ interferes with an earlier one in the slot exactly when
+        // one of its qubits lands in that CZ's blocked (qubit ∪
+        // neighbour) set, so one stamped forward pass replaces the
+        // pairwise scan.
         let Some(grid) = grid else { continue };
-        let czs: Vec<(usize, usize)> = slot
-            .iter()
-            .filter_map(|&gi| match c.gates()[gi] {
-                Gate::Cz { a, b } => Some((a, b)),
-                _ => None,
-            })
-            .collect();
-        for i in 0..czs.len() {
-            for j in i + 1..czs.len() {
-                if czs_interfere(grid, czs[i], czs[j]) {
-                    return Err(format!("slot {si}: interfering CZs"));
+        for i in 0..ws.czs.len() {
+            let (a, b) = ws.czs[i];
+            if ws.blk_stamp[a] == epoch || ws.blk_stamp[b] == epoch {
+                return Err(format!("slot {si}: interfering CZs"));
+            }
+            for y in [a, b] {
+                ws.blk_stamp[y] = epoch;
+                for n in grid.neighbors_iter(y) {
+                    ws.blk_stamp[n] = epoch;
                 }
             }
         }
     }
-    if !seen.iter().all(|&s| s) {
+    if !ws.seen.iter().all(|&s| s) {
         return Err("not all gates scheduled".into());
     }
     // Program order per qubit.
-    let mut last = vec![usize::MAX; c.n_qubits()];
+    ws.last.clear();
+    ws.last.resize(c.n_qubits(), usize::MAX);
     for (gi, g) in c.gates().iter().enumerate() {
-        for q in g.qubits() {
-            if last[q] != usize::MAX && order_of_gate[gi] <= order_of_gate[last[q]] {
+        for &q in &g.qubits_inline() {
+            if ws.last[q] != usize::MAX && ws.order_of_gate[gi] <= ws.order_of_gate[ws.last[q]] {
                 return Err(format!("qubit {q}: order violated at gate {gi}"));
             }
-            last[q] = gi;
+            ws.last[q] = gi;
         }
     }
     Ok(())
@@ -300,7 +502,7 @@ mod tests {
         let r = route(
             &c,
             &grid,
-            Layout::snake(36, &grid),
+            &Layout::snake(36, &grid),
             &RouterConfig::default(),
         );
         let slots = schedule_crosstalk_aware(&r.circuit, &grid);

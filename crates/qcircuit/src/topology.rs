@@ -87,21 +87,36 @@ impl Grid {
 
     /// Neighbours of a physical qubit (2–4 of them).
     pub fn neighbors(&self, q: usize) -> Vec<usize> {
+        self.neighbors_iter(q).collect()
+    }
+
+    /// Neighbours of a physical qubit without allocating, in the same
+    /// order as [`Grid::neighbors`] (up, down, left, right) — what the
+    /// router candidate loops and the scheduler's interference masks
+    /// iterate. The order is part of the routed-output byte-identity
+    /// contract: the greedy router draws one RNG tie-break value per
+    /// candidate in this order.
+    pub fn neighbors_iter(&self, q: usize) -> impl Iterator<Item = usize> {
         let (r, c) = self.coords(q);
-        let mut out = Vec::with_capacity(4);
+        let mut buf = [0usize; 4];
+        let mut len = 0;
         if r > 0 {
-            out.push(self.qubit_at(r - 1, c));
+            buf[len] = q - self.cols;
+            len += 1;
         }
         if r + 1 < self.rows {
-            out.push(self.qubit_at(r + 1, c));
+            buf[len] = q + self.cols;
+            len += 1;
         }
         if c > 0 {
-            out.push(self.qubit_at(r, c - 1));
+            buf[len] = q - 1;
+            len += 1;
         }
         if c + 1 < self.cols {
-            out.push(self.qubit_at(r, c + 1));
+            buf[len] = q + 1;
+            len += 1;
         }
-        out
+        buf.into_iter().take(len)
     }
 
     /// All couplers as `(low, high)` pairs; a 32×32 grid has

@@ -101,7 +101,7 @@ fn routing_is_compliant_and_preserves_marginals() {
         let routed = route(
             &low,
             &grid,
-            Layout::identity(N, N),
+            &Layout::identity(N, N),
             &RouterConfig::default(),
         );
         assert!(routed.is_hardware_compliant(&grid), "case {case}");
@@ -129,7 +129,7 @@ fn schedule_is_valid_for_any_routed_circuit() {
         let routed = route(
             &low,
             &grid,
-            Layout::identity(N, N),
+            &Layout::identity(N, N),
             &RouterConfig::default(),
         );
         // Router-inserted SWAPs are physical 3-CZ sequences: lower again

@@ -46,7 +46,7 @@ fn route_rejects_unlowered_circuits() {
     let _ = route(
         &unlowered(),
         &grid,
-        Layout::identity(4, 4),
+        &Layout::identity(4, 4),
         &RouterConfig::default(),
     );
 }
@@ -57,7 +57,7 @@ fn route_rejects_bare_swaps() {
     let grid = Grid::new(2, 2);
     let mut c = Circuit::new(4);
     c.swap(0, 1); // SWAPs are router *output*, not legal input
-    let _ = route(&c, &grid, Layout::identity(4, 4), &RouterConfig::default());
+    let _ = route(&c, &grid, &Layout::identity(4, 4), &RouterConfig::default());
 }
 
 #[test]
@@ -81,7 +81,7 @@ fn lowering_then_consuming_succeeds_end_to_end() {
     // lowered.
     let grid = Grid::new(2, 2);
     let c = lower_to_cz(&unlowered());
-    let routed = route(&c, &grid, Layout::identity(4, 4), &RouterConfig::default());
+    let routed = route(&c, &grid, &Layout::identity(4, 4), &RouterConfig::default());
     let physical = lower_to_cz(&routed.circuit);
     let slots = schedule_crosstalk_aware(&physical, &grid);
     assert!(!slots.is_empty());

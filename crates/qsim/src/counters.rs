@@ -18,14 +18,17 @@
 //!   `apply_into` count `8·rows·cols`, one Jacobi plane rotation counts
 //!   `48·n` (three n-length two-output updates of two complex MACs
 //!   each), and the fused spectral apply counts `8·n³ + 6·n²`.
-//! * **compile passes** (qcircuit routers/schedulers) — the routers
-//!   tally one alloc per fresh output circuit, per lookahead endpoint
-//!   list, and per scratch `Layout` clone scored as a SWAP candidate,
-//!   plus 2 flops per f64 lookahead term (divide + accumulate) and 4
-//!   per randomized candidate score (weight multiply, two adds, one
-//!   tie-break scale); `Circuit::moments` (hence both schedulers)
-//!   tallies one alloc per dependency level, and the crosstalk
-//!   scheduler one per CZ colour group it opens.
+//! * **compile passes** (qcircuit routers/schedulers) — one alloc per
+//!   **materialized output artifact**, exactly: a route is 2 (the
+//!   routed circuit plus the final layout), a schedule is 1 (the slot
+//!   list). Workspace scratch — trial layouts, candidate buffers,
+//!   moment levels, colour-group pools — is reused across calls and
+//!   never tallied (the same rule that keeps transient `Vec` scratch
+//!   uncounted in the numeric core), and `Circuit::moments` is an
+//!   untallied query. Flops are unchanged: 2 per f64 lookahead term
+//!   (divide + accumulate) and 4 per randomized candidate score
+//!   (weight multiply, two adds, one tie-break scale). Because only
+//!   outputs count, a pass's cold and warm tallies are identical.
 //!
 //! The tallies are **thread-local**, so the parallel test runner and
 //! scoped worker threads never race and exact-equality asserts are safe;
@@ -60,8 +63,8 @@ pub fn tally_alloc() {
 }
 
 /// Records `n` buffer allocations on this thread (batch accounting for
-/// callers that create several buffers in one step, e.g. a moment
-/// table's dependency levels).
+/// callers that materialize several output buffers in one step, e.g. a
+/// router's circuit + final-layout pair).
 #[inline]
 pub fn tally_allocs(n: u64) {
     ALLOCS.with(|c| c.set(c.get().wrapping_add(n)));

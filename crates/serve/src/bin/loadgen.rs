@@ -2,7 +2,18 @@
 //! a request mix against a running `serve` daemon, reporting requests
 //! per second and p50/p99 latency for a **cold** store (first wave,
 //! artifacts built) and a **warm** one (second wave, everything
-//! memoized).
+//! memoized). The warm wave only starts after every cold-wave thread
+//! has joined, so its percentiles measure steady-state replay — no
+//! request in the warm window can own (or wait on) the cold build.
+//!
+//! Historical note: records through `BENCH_2026-08-07_r3.json` show a
+//! warm p99 near 87ms against a sub-ms p50. That was not the cold
+//! build leaking into the warm window — it was Nagle's algorithm
+//! colliding with delayed ACKs on the small request/response frames
+//! (~40ms per stalled write, twice per round trip), fixed by
+//! `TCP_NODELAY` on both ends plus single-buffer frame writes. The
+//! steady-state invariant is pinned by `warm_replay_is_steady_state`
+//! in `crates/serve/tests/service.rs`.
 //!
 //! Shared flags used: `--seeds K` scales the replayed sweep spec
 //! (heavier specs widen the coalescing window), `--workers N` is the

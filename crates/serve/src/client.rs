@@ -38,9 +38,13 @@ impl Client {
     ///
     /// Propagates the connect error.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        Ok(Client {
-            stream: TcpStream::connect(addr)?,
-        })
+        let stream = TcpStream::connect(addr)?;
+        // Request/response round trips over small frames: Nagle would
+        // hold each request back for the server's delayed ACK (~40ms)
+        // once the connection leaves its initial quickack phase, which
+        // used to dominate warm-wave latency percentiles in `loadgen`.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
     }
 
     fn round_trip(&mut self, request: &Request) -> io::Result<Response> {

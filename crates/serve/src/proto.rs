@@ -36,6 +36,12 @@ pub const MAX_FRAME: usize = 32 << 20;
 
 /// Writes one length-prefixed frame.
 ///
+/// The prefix and payload go out in a **single** `write_all` (same bytes
+/// on the wire, so no protocol bump): a separate 4-byte prefix write is
+/// a textbook write-write-read pattern that Nagle's algorithm holds back
+/// until the peer's delayed ACK (~40 ms a write), which is exactly the
+/// steady-state latency skew the loadgen percentiles used to show.
+///
 /// # Errors
 ///
 /// Propagates I/O errors; rejects payloads above [`MAX_FRAME`].
@@ -46,8 +52,10 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
             format!("frame of {} bytes exceeds MAX_FRAME", payload.len()),
         ));
     }
-    w.write_all(&(payload.len() as u32).to_be_bytes())?;
-    w.write_all(payload)?;
+    let mut framed = Vec::with_capacity(4 + payload.len());
+    framed.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    framed.extend_from_slice(payload);
+    w.write_all(&framed)?;
     w.flush()
 }
 

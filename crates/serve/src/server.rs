@@ -481,6 +481,10 @@ pub fn serve(cfg: ServeConfig) -> std::io::Result<ServerHandle> {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
+                    // Responses are small frames followed by a read of
+                    // the next request; without TCP_NODELAY they sit in
+                    // the kernel until the client's delayed ACK.
+                    let _ = stream.set_nodelay(true);
                     let client = next_client;
                     next_client += 1;
                     let shared = Arc::clone(&shared);

@@ -56,6 +56,41 @@ fn sweep_responses_are_byte_identical_to_the_batch_cli_golden() {
 }
 
 #[test]
+fn warm_replay_is_steady_state() {
+    // Warm requests replay a memoized artifact: pure frame round trips
+    // with no evaluation. The regression this pins: Nagle + delayed ACK
+    // on the small request/response frames stalled EVERY request after
+    // a connection's first by ~80ms (two ~40ms delayed-ACK waits per
+    // round trip), which skewed loadgen's warm percentiles to p99 ≈
+    // 87ms over a sub-ms p50. With TCP_NODELAY and single-buffer frame
+    // writes the stall is structurally gone, so even the *fastest* warm
+    // replay on a loaded box sits far under the 40ms delayed-ACK floor.
+    let handle = serve(ServeConfig::default()).unwrap();
+    let spec = SweepSpec::smoke().with_seeds(vec![0]);
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let cold = expect_report(client.sweep(&spec, 2).unwrap());
+
+    let mut lats = Vec::new();
+    for _ in 0..8 {
+        let t = std::time::Instant::now();
+        let warm = expect_report(client.sweep(&spec, 2).unwrap());
+        lats.push(t.elapsed());
+        assert_eq!(warm, cold);
+    }
+    let fastest = lats.iter().min().unwrap();
+    assert!(
+        *fastest < std::time::Duration::from_millis(40),
+        "steady-state warm replay should beat the delayed-ACK floor; \
+         fastest of {} warm requests took {:?} (Nagle stall back?)",
+        lats.len(),
+        fastest
+    );
+
+    handle.drain();
+    handle.join();
+}
+
+#[test]
 fn cosim_responses_match_their_golden_too() {
     let handle = serve(ServeConfig::default()).unwrap();
     let spec = SweepSpec::cosim_smoke().with_seeds(vec![0]);

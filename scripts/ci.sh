@@ -41,6 +41,14 @@
 #                                # regressions hard-fail, wall-time
 #                                # regressions warn only; then record the
 #                                # fresh numbers as a new BENCH file
+#   scripts/ci.sh --bench-e2e    # run just the end-to-end rows (cold
+#                                # sweep --full, paper-scale fig7, bounded
+#                                # fig10, serve+loadgen) and diff their
+#                                # deterministic checks against the latest
+#                                # BENCH record's "e2e" section (records
+#                                # predating the section pass with a note);
+#                                # --bench-json/--bench-compare embed the
+#                                # same rows in the record they write
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -277,14 +285,22 @@ latest_bench() {
 }
 
 # bench_record <out_json> [extra kernel flags...]: run the kernel
-# micro-benchmarks (quick mode) plus one loadgen round against a local
-# serve daemon, and write the combined record to <out_json>. Extra flags
-# (e.g. --compare FILE) are passed to the kernels bench; a compare
-# failure aborts before anything is written.
+# micro-benchmarks (quick mode), one loadgen round against a local serve
+# daemon, and the end-to-end recorder, and write the combined record to
+# <out_json>. Extra flags (e.g. --compare FILE) are passed to the kernels
+# bench — and a --compare baseline is mirrored to the e2e recorder, which
+# diffs its deterministic checks against the baseline's "e2e" section
+# (records predating the section pass with a note). Any compare failure
+# aborts before anything is written.
 bench_record() {
     local out=$1; shift
-    local kjson ljson slog serve_pid serve_addr
-    kjson=$(mktemp); ljson=$(mktemp); slog=$(mktemp)
+    local kjson ljson ejson slog serve_pid serve_addr baseline="" prev=""
+    local flag
+    for flag in "$@"; do
+        [[ "$prev" == "--compare" ]] && baseline=$flag
+        prev=$flag
+    done
+    kjson=$(mktemp); ljson=$(mktemp); ejson=$(mktemp); slog=$(mktemp)
     echo "==> kernel micro-benchmarks (quick, json)"
     cargo bench --offline -p digiq-bench --bench kernels -- --quick --json-out "$kjson" "$@"
     echo "==> loadgen against a local serve daemon"
@@ -297,9 +313,15 @@ bench_record() {
         exit 1
     fi
     wait "$serve_pid"
-    printf '{"date":"%s","kernels":%s,"loadgen":%s}\n' \
-        "$(date +%F)" "$(cat "$kjson")" "$(cat "$ljson")" > "$out"
-    rm -f "$kjson" "$ljson" "$slog"
+    echo "==> end-to-end rows (deterministic checks hard-fail, wall time warns)"
+    if [[ -n "$baseline" ]]; then
+        ./target/release/e2e --json-out "$ejson" --compare "$baseline"
+    else
+        ./target/release/e2e --json-out "$ejson"
+    fi
+    printf '{"date":"%s","kernels":%s,"loadgen":%s,"e2e":%s}\n' \
+        "$(date +%F)" "$(cat "$kjson")" "$(cat "$ljson")" "$(cat "$ejson")" > "$out"
+    rm -f "$kjson" "$ljson" "$ejson" "$slog"
     echo "benchmark numbers written to $out"
 }
 
@@ -329,6 +351,16 @@ if [[ "${1:-}" == "--bench-compare" ]]; then
     echo "==> bench compare vs $baseline (counters hard-fail, wall time warn-only)"
     # Absolute path: cargo bench runs the binary with cwd = crates/bench.
     bench_record "$out" --compare "$PWD/$baseline"
+fi
+
+if [[ "${1:-}" == "--bench-e2e" ]]; then
+    echo "==> end-to-end rows (bounded sizes; deterministic checks hard-fail, wall time warns)"
+    baseline=$(latest_bench)
+    if [[ -n "$baseline" ]]; then
+        ./target/release/e2e --compare "$PWD/$baseline"
+    else
+        ./target/release/e2e
+    fi
 fi
 
 if [[ "${1:-}" == "--smoke" ]]; then
