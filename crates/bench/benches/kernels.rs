@@ -19,13 +19,16 @@
 
 use digiq_bench::timing::{fmt_ns, Harness, Stats};
 use qsim::counters::KernelCounters;
+use sfq_hw::counters::SynthCounters;
 use sfq_hw::json::{Json, ToJson};
 use std::hint::black_box;
 
-/// The timing harness plus one deterministic counter snapshot per kernel.
+/// The timing harness plus one deterministic counter snapshot per kernel
+/// (both tiers: qsim flops/allocs and sfq-hw cells/DFFs/allocs).
 struct Bench {
     h: Harness,
     counters: Vec<KernelCounters>,
+    synth: Vec<SynthCounters>,
     /// `--filter SUBSTR`: only kernels whose name contains this run.
     filter: Option<String>,
 }
@@ -37,10 +40,148 @@ impl Bench {
                 return;
             }
         }
-        let (_, c) = qsim::counters::counted(|| black_box(f()));
+        let ((_, sc), c) = qsim::counters::counted(|| sfq_hw::counters::counted(|| black_box(f())));
         self.counters.push(c);
+        self.synth.push(sc);
         self.h.bench(name, f);
     }
+}
+
+/// Naive two-pass cyclic Jacobi reference (the pre-workspace `eigh`):
+/// allocating `dagger`/`identity`, separate column and row rotation
+/// passes, exact O(n²) off-norm rescan at the top of every sweep. Priced
+/// here so `eigh_9x9_cold`'s speedup has an in-record denominator.
+mod naive_eigen {
+    use qsim::complex::C64;
+    use qsim::eigen::EigH;
+    use qsim::matrix::CMat;
+
+    #[allow(clippy::too_many_arguments)]
+    fn rotate_columns(
+        data: &mut [C64],
+        n: usize,
+        p: usize,
+        q: usize,
+        c: f64,
+        s: f64,
+        jqp: C64,
+        jqq: C64,
+    ) {
+        for row in data.chunks_exact_mut(n) {
+            let (akp, akq) = (row[p], row[q]);
+            row[p] = C64::new(
+                akp.re * c + (akq.re * jqp.re - akq.im * jqp.im),
+                akp.im * c + (akq.re * jqp.im + akq.im * jqp.re),
+            );
+            row[q] = C64::new(
+                -akp.re * s + (akq.re * jqq.re - akq.im * jqq.im),
+                -akp.im * s + (akq.re * jqq.im + akq.im * jqq.re),
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn rotate_rows(
+        data: &mut [C64],
+        n: usize,
+        p: usize,
+        q: usize,
+        c: f64,
+        s: f64,
+        jqp: C64,
+        jqq: C64,
+    ) {
+        let (head, tail) = data.split_at_mut(q * n);
+        let prow = &mut head[p * n..(p + 1) * n];
+        let qrow = &mut tail[..n];
+        let (cqp, cqq) = (jqp.conj(), jqq.conj());
+        for (ap, aq) in prow.iter_mut().zip(qrow.iter_mut()) {
+            let (apk, aqk) = (*ap, *aq);
+            *ap = C64::new(
+                apk.re * c + (aqk.re * cqp.re - aqk.im * cqp.im),
+                apk.im * c + (aqk.re * cqp.im + aqk.im * cqp.re),
+            );
+            *aq = C64::new(
+                -apk.re * s + (aqk.re * cqq.re - aqk.im * cqq.im),
+                -apk.im * s + (aqk.re * cqq.im + aqk.im * cqq.re),
+            );
+        }
+    }
+
+    pub fn naive_eigh(a: &CMat) -> EigH {
+        let n = a.rows();
+        let mut m = a.dagger();
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = (m[(i, j)] + a[(i, j)]) * 0.5;
+            }
+        }
+        let mut v = CMat::identity(n);
+        let scale = m.frobenius_norm().max(1.0);
+        let tol = (scale * 1e-15).powi(2) * (n * n) as f64;
+        let thresh = scale * 1e-16;
+        let md = m.as_mut_slice();
+        let vd = v.as_mut_slice();
+        for _sweep in 0..100 {
+            let mut off = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j {
+                        off += md[i * n + j].abs2();
+                    }
+                }
+            }
+            if off <= tol {
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let beta = md[p * n + q];
+                    let b = beta.abs();
+                    if b <= thresh {
+                        continue;
+                    }
+                    let phi = beta.arg();
+                    let alpha = md[p * n + p].re;
+                    let gamma = md[q * n + q].re;
+                    let zeta = (alpha - gamma) / (2.0 * b);
+                    let t = if zeta >= 0.0 {
+                        1.0 / (zeta + (1.0 + zeta * zeta).sqrt())
+                    } else {
+                        -1.0 / (-zeta + (1.0 + zeta * zeta).sqrt())
+                    };
+                    let c = 1.0 / (1.0 + t * t).sqrt();
+                    let s = t * c;
+                    let e_m = C64::cis(-phi);
+                    let jqp = e_m * s;
+                    let jqq = e_m * c;
+                    rotate_columns(md, n, p, q, c, s, jqp, jqq);
+                    rotate_rows(md, n, p, q, c, s, jqp, jqq);
+                    rotate_columns(vd, n, p, q, c, s, jqp, jqq);
+                }
+            }
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        let vals: Vec<f64> = (0..n).map(|i| m[(i, i)].re).collect();
+        order.sort_by(|&i, &j| vals[i].total_cmp(&vals[j]));
+        let sorted_vals: Vec<f64> = order.iter().map(|&i| vals[i]).collect();
+        let sorted_vecs = CMat::from_fn(n, n, |i, j| v[(i, order[j])]);
+        EigH {
+            values: sorted_vals,
+            vectors: sorted_vecs,
+        }
+    }
+}
+
+fn bench_eigen(h: &mut Bench) {
+    let pair = qsim::two_qubit::CoupledTransmons::paper_pair(6.21286, 4.14238);
+    let ham = pair.hamiltonian(-1.8);
+    // "cold" = no eigendecomposition memo in play: the raw workspace
+    // Jacobi core, the deepest numeric tier under every propagator.
+    h.bench("eigh_9x9_cold", || qsim::eigen::eigh(black_box(&ham)));
+    h.bench("eigh_9x9_naive", || {
+        naive_eigen::naive_eigh(black_box(&ham))
+    });
 }
 
 fn bench_expm(h: &mut Bench) {
@@ -147,8 +288,17 @@ fn bench_synthesis(h: &mut Bench) {
         2,
     );
     let model = sfq_hw::cost::CostModel::default();
+    // Reset the module memo *outside* the closure: the counted (first)
+    // run is then deterministically cold regardless of which kernels ran
+    // before, while the timed iterations measure the memoized steady
+    // state the Fig 8 sweep actually sees.
+    digiq_core::hardware::clear_module_memo();
     h.bench("build_hardware_opt_bs8", || {
         digiq_core::hardware::build_hardware(black_box(&cfg), &model)
+    });
+    digiq_core::hardware::clear_module_memo();
+    h.bench("fig8_sweep_serial", || {
+        digiq_core::hardware::fig8_sweep(black_box(&model)).len()
     });
 }
 
@@ -157,6 +307,21 @@ struct Row {
     name: String,
     stats: Stats,
     counters: KernelCounters,
+    synth: SynthCounters,
+}
+
+impl Row {
+    /// The deterministic counter fields of this row, in record order —
+    /// the single source of truth for both `--json-out` and `--compare`.
+    fn counter_fields(&self) -> [(&'static str, u64); 5] {
+        [
+            ("flops", self.counters.flops),
+            ("allocs", self.counters.allocs),
+            ("cells", self.synth.cells),
+            ("dffs_moved", self.synth.dffs_moved),
+            ("synth_allocs", self.synth.allocs),
+        ]
+    }
 }
 
 /// Extracts the kernel rows from a committed benchmark record — either a
@@ -198,36 +363,49 @@ fn compare(rows: &[Row], baseline_path: &str, baseline: &Json) -> bool {
         let base_median = b.num_field("median_ns", "row").unwrap_or(f64::NAN);
         let speedup = base_median / row.stats.median_ns;
         // Counters are exact and deterministic: any increase is a real
-        // regression, not noise. Records predating the counters are
-        // skipped (no fields to compare).
-        let counter_note = match (
-            b.count_field("flops", "row"),
-            b.count_field("allocs", "row"),
-        ) {
-            (Ok(bf), Ok(ba)) => {
-                if bf == 0 && ba == 0 && (row.counters.flops > 0 || row.counters.allocs > 0) {
-                    // An all-zero baseline against a counting kernel means
-                    // the record predates counter coverage of this path
-                    // (not a regression from literally zero work); a fresh
-                    // record picks up the gate from here.
-                    format!(
-                        "baseline predates counter coverage (now flops {}, allocs {})",
-                        row.counters.flops, row.counters.allocs
-                    )
-                } else if row.counters.flops > bf || row.counters.allocs > ba {
-                    ok = false;
-                    format!(
-                        "REGRESSED flops {} -> {}, allocs {} -> {}",
-                        bf, row.counters.flops, ba, row.counters.allocs
-                    )
-                } else {
-                    format!(
-                        "ok (flops {} -> {}, allocs {} -> {})",
-                        bf, row.counters.flops, ba, row.counters.allocs
-                    )
-                }
-            }
-            _ => "baseline has none".to_string(),
+        // regression, not noise. Fields the baseline lacks (older records
+        // predate the synthesis counters) are skipped — the fresh record
+        // picks up the gate from there.
+        let covered: Vec<(&str, u64, u64)> = row
+            .counter_fields()
+            .into_iter()
+            .filter_map(|(field, fresh)| {
+                b.count_field(field, "row")
+                    .ok()
+                    .map(|bv| (field, bv, fresh))
+            })
+            .collect();
+        let counter_note = if covered.is_empty() {
+            "baseline has none".to_string()
+        } else if covered.iter().all(|&(_, bv, _)| bv == 0)
+            && row.counter_fields().iter().any(|&(_, fresh)| fresh > 0)
+        {
+            // An all-zero baseline against a counting kernel means the
+            // record predates counter coverage of this path (not a
+            // regression from literally zero work); a fresh record picks
+            // up the gate from here.
+            let now: Vec<String> = row
+                .counter_fields()
+                .iter()
+                .map(|(f, v)| format!("{f} {v}"))
+                .collect();
+            format!(
+                "baseline predates counter coverage (now {})",
+                now.join(", ")
+            )
+        } else if covered.iter().any(|&(_, bv, fresh)| fresh > bv) {
+            ok = false;
+            let diffs: Vec<String> = covered
+                .iter()
+                .map(|(f, bv, fresh)| format!("{f} {bv} -> {fresh}"))
+                .collect();
+            format!("REGRESSED {}", diffs.join(", "))
+        } else {
+            let diffs: Vec<String> = covered
+                .iter()
+                .map(|(f, bv, fresh)| format!("{f} {bv} -> {fresh}"))
+                .collect();
+            format!("ok ({})", diffs.join(", "))
         };
         println!(
             "{:<32} {:>12} {:>12} {:>7.2}x  {}",
@@ -256,8 +434,10 @@ fn main() {
             Harness::standard()
         },
         counters: Vec::new(),
+        synth: Vec::new(),
         filter: digiq_bench::arg_value("--filter"),
     };
+    bench_eigen(&mut h);
     bench_expm(&mut h);
     bench_bitstream(&mut h);
     bench_decomposition(&mut h);
@@ -268,10 +448,12 @@ fn main() {
         h.h.results
             .iter()
             .zip(h.counters.iter())
-            .map(|((name, stats), &counters)| Row {
+            .zip(h.synth.iter())
+            .map(|(((name, stats), &counters), &synth)| Row {
                 name: name.clone(),
                 stats: *stats,
                 counters,
+                synth,
             })
             .collect();
     if let Some(path) = digiq_bench::arg_value("--json-out") {
@@ -282,8 +464,9 @@ fn main() {
                     if let Json::Obj(stat_fields) = row.stats.to_json() {
                         fields.extend(stat_fields);
                     }
-                    fields.push(("flops".to_string(), row.counters.flops.to_json()));
-                    fields.push(("allocs".to_string(), row.counters.allocs.to_json()));
+                    for (field, value) in row.counter_fields() {
+                        fields.push((field.to_string(), value.to_json()));
+                    }
                     Json::Obj(fields)
                 })
                 .collect(),

@@ -91,6 +91,13 @@ pub mod ns {
     /// (in-memory only — cheap to rebuild, expensive to redo per qubit).
     /// Not part of [`crate::engine::CacheStats`] accounting.
     pub const CALIB_MEMO: &str = "calib/memo";
+    /// Memoized per-module synthesis results keyed by (generator,
+    /// params, cost-model hash): the Fig 8 sweep instantiates the same
+    /// small module (one-hot mux, circulating register, …) at every
+    /// design point, so each distinct module is synthesized exactly once
+    /// per process (in-memory only). Not part of
+    /// [`crate::engine::CacheStats`] accounting.
+    pub const HARDWARE_MODULE: &str = "hardware/module";
     /// Impossible-MIMD baseline executions (persistent).
     pub const BASELINE: &str = "baseline";
     /// Cycle-accurate co-simulation reports (persistent).

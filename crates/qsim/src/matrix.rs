@@ -115,6 +115,24 @@ impl CMat {
         }
     }
 
+    /// Wraps an already-filled row-major buffer without copying it. The
+    /// buffer's allocation is tallied like any other materialized matrix
+    /// (the caller must not have tallied it separately).
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub(crate) fn from_vec(rows: usize, cols: usize, data: Vec<C64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        counters::tally_alloc();
+        CMat { rows, cols, data }
+    }
+
     /// Creates a matrix by evaluating `f(row, col)` for every entry.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> C64) -> Self {
         let mut m = CMat::zeros(rows, cols);

@@ -1,0 +1,130 @@
+//! Deterministic work/allocation counters for the synthesis passes.
+//!
+//! The same discipline as `qsim::counters`, extended to the netlist tier:
+//! synthesis perf regressions (a pass re-growing per-node `Vec`s, a
+//! builder abandoning the node pool) keep every cell count bit-identical
+//! while destroying the speedup, so the passes tally their deterministic
+//! work into thread-locals that tests and the kernels bench can assert
+//! exactly.
+//!
+//! Counting policy (deterministic for a fixed input):
+//!
+//! * **cells** — nodes examined by a pass: each of `insert_splitters`,
+//!   `path_balance` and `check-style` walks tallies the node count it
+//!   scans, and every `retime` fixpoint iteration tallies the full node
+//!   count again (the fixpoint trip count is itself deterministic).
+//! * **dffs_moved** — balancing DFFs materialized or relocated:
+//!   `path_balance` tallies every edge-weight DFF it inserts, `retime`
+//!   tallies every DFF it lifts from an input edge to the output.
+//! * **allocs** — one per materialized netlist artifact
+//!   ([`crate::netlist::Netlist::new`]). Pooled node buffers, pass
+//!   scratch (topo orders, fanout CSRs, endpoint queues) and `Clone` are
+//!   never tallied — only outputs count, so a pass's cold and warm
+//!   tallies are identical by construction.
+//!
+//! Thread-local, like the qsim tallies: snapshot and reset on the thread
+//! that runs the pass under test.
+
+use std::cell::Cell;
+
+thread_local! {
+    static CELLS: Cell<u64> = const { Cell::new(0) };
+    static DFFS_MOVED: Cell<u64> = const { Cell::new(0) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// A point-in-time snapshot of this thread's synthesis tallies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SynthCounters {
+    /// Netlist nodes examined by the passes (see module docs).
+    pub cells: u64,
+    /// Balancing DFFs inserted or relocated.
+    pub dffs_moved: u64,
+    /// Materialized netlist artifacts.
+    pub allocs: u64,
+}
+
+/// Adds `n` examined nodes to this thread's tally.
+#[inline]
+pub fn tally_cells(n: u64) {
+    CELLS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Adds `n` inserted/relocated balancing DFFs to this thread's tally.
+#[inline]
+pub fn tally_dffs_moved(n: u64) {
+    DFFS_MOVED.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Records `n` materialized netlist artifacts on this thread.
+#[inline]
+pub fn tally_allocs(n: u64) {
+    ALLOCS.with(|c| c.set(c.get().wrapping_add(n)));
+}
+
+/// Reads this thread's tallies without resetting them.
+pub fn snapshot() -> SynthCounters {
+    SynthCounters {
+        cells: CELLS.with(Cell::get),
+        dffs_moved: DFFS_MOVED.with(Cell::get),
+        allocs: ALLOCS.with(Cell::get),
+    }
+}
+
+/// Zeroes this thread's tallies.
+pub fn reset() {
+    CELLS.with(|c| c.set(0));
+    DFFS_MOVED.with(|c| c.set(0));
+    ALLOCS.with(|c| c.set(0));
+}
+
+/// Runs `f` with freshly reset tallies and returns its result together
+/// with the counters it accrued.
+pub fn counted<T>(f: impl FnOnce() -> T) -> (T, SynthCounters) {
+    reset();
+    let out = f();
+    (out, snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_accumulate_and_reset() {
+        reset();
+        tally_cells(7);
+        tally_dffs_moved(3);
+        tally_allocs(1);
+        let c = snapshot();
+        assert_eq!(
+            c,
+            SynthCounters {
+                cells: 7,
+                dffs_moved: 3,
+                allocs: 1
+            }
+        );
+        reset();
+        assert_eq!(snapshot(), SynthCounters::default());
+    }
+
+    #[test]
+    fn counted_scopes_a_closure() {
+        tally_cells(999); // stale tally from an earlier pass
+        let (val, c) = counted(|| {
+            tally_cells(4);
+            tally_dffs_moved(2);
+            11
+        });
+        assert_eq!(val, 11);
+        assert_eq!(
+            c,
+            SynthCounters {
+                cells: 4,
+                dffs_moved: 2,
+                allocs: 0
+            }
+        );
+    }
+}

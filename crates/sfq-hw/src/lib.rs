@@ -13,6 +13,10 @@
 //!   counters, comparators, broadcast trees, SFQ/DC arrays, double
 //!   buffers);
 //! * [`passes`] — splitter insertion, full path balancing, retiming;
+//! * [`counters`] — deterministic cell/DFF/allocation tallies for the
+//!   passes (bench-compare gate inputs);
+//! * [`workspace`] — per-thread node pool and pass scratch keeping the
+//!   synthesis iteration path allocation-free;
 //! * [`cost`] — calibrated power/area/delay roll-up;
 //! * [`analog`] — transient simulation of the Fig 4 current generator;
 //! * [`cables`] — room-temperature digital link sizing (Fig 8c).
@@ -36,10 +40,12 @@ pub mod analog;
 pub mod cables;
 pub mod cells;
 pub mod cost;
+pub mod counters;
 pub mod generators;
 pub mod json;
 pub mod netlist;
 pub mod passes;
+pub mod workspace;
 
 pub use cells::CellType;
 pub use cost::{CostModel, CostReport};

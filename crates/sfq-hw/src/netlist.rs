@@ -199,12 +199,39 @@ pub struct Netlist {
 
 impl Netlist {
     /// Creates an empty netlist with a diagnostic name.
+    ///
+    /// Tallied as one materialized artifact by [`crate::counters`]; node
+    /// storage is drawn from the per-thread pool in [`crate::workspace`],
+    /// so warm construction is allocation-light.
     pub fn new(name: impl Into<String>) -> Self {
+        crate::counters::tally_allocs(1);
         Netlist {
             name: name.into(),
             nodes: Vec::new(),
             outputs: Vec::new(),
             feedback: Vec::new(),
+        }
+    }
+
+    /// Builds a node from the recycled pool when possible (every field is
+    /// re-initialized; recycled `Vec`s keep only their capacity).
+    fn fresh_node(kind: NodeKind, fanin: &[NodeId]) -> Node {
+        match crate::workspace::pop_node() {
+            Some(mut node) => {
+                node.kind = kind;
+                node.fanin.clear();
+                node.fanin.extend_from_slice(fanin);
+                node.in_dffs.clear();
+                node.in_dffs.resize(fanin.len(), 0);
+                node.out_dffs = 0;
+                node
+            }
+            None => Node {
+                kind,
+                fanin: fanin.to_vec(),
+                in_dffs: vec![0; fanin.len()],
+                out_dffs: 0,
+            },
         }
     }
 
@@ -225,19 +252,14 @@ impl Netlist {
 
     /// Adds a primary input. The name is only for diagnostics.
     pub fn input(&mut self, _name: &str) -> NodeId {
-        self.push(Node {
-            kind: NodeKind::Input,
-            fanin: Vec::new(),
-            in_dffs: Vec::new(),
-            out_dffs: 0,
-        })
+        self.push(Self::fresh_node(NodeKind::Input, &[]))
     }
 
     /// Adds `n` primary inputs at once.
-    pub fn inputs(&mut self, prefix: &str, n: usize) -> Vec<NodeId> {
-        (0..n)
-            .map(|i| self.input(&format!("{prefix}{i}")))
-            .collect()
+    pub fn inputs(&mut self, _prefix: &str, n: usize) -> Vec<NodeId> {
+        // Input names are diagnostic-only and discarded by `input`; no
+        // point formatting one per node.
+        (0..n).map(|_| self.input("")).collect()
     }
 
     /// Adds a gate driven by `fanin`.
@@ -257,12 +279,7 @@ impl Netlist {
         for f in fanin {
             assert!(f.index() < self.nodes.len(), "fanin id out of range");
         }
-        self.push(Node {
-            kind: NodeKind::Gate(cell),
-            fanin: fanin.to_vec(),
-            in_dffs: vec![0; fanin.len()],
-            out_dffs: 0,
-        })
+        self.push(Self::fresh_node(NodeKind::Gate(cell), fanin))
     }
 
     /// Adds a chain of `n` copies of a single-input cell after `src`,
@@ -443,6 +460,14 @@ impl Netlist {
 
     pub(crate) fn node_mut(&mut self, id: NodeId) -> &mut Node {
         &mut self.nodes[id.index()]
+    }
+}
+
+impl Drop for Netlist {
+    fn drop(&mut self) {
+        // Recycle node buffers (with their capacities) into the
+        // per-thread pool for the next construction.
+        crate::workspace::recycle_nodes(std::mem::take(&mut self.nodes));
     }
 }
 

@@ -154,3 +154,52 @@ fn stats_scale_linearly() {
         );
     }
 }
+
+// ------------------------------------------------------------------
+// Deterministic synthesis-counter contracts (bench-compare gate inputs).
+// ------------------------------------------------------------------
+
+#[test]
+fn pass_counters_match_returned_work() {
+    use sfq_hw::counters;
+    let mut nl = Netlist::new("cnt");
+    let ins = nl.inputs("i", 4);
+    let a = nl.gate(CellType::And2, &[ins[0], ins[1]]);
+    let b = nl.gate(CellType::And2, &[a, ins[2]]);
+    let c = nl.gate(CellType::And2, &[b, ins[3]]);
+    nl.mark_output("o", c);
+    let n0 = nl.len() as u64;
+    let (_, tally) = counters::counted(|| insert_splitters(&mut nl));
+    assert_eq!(tally.cells, n0, "insert_splitters examines every node once");
+    let (inserted, tally) = counters::counted(|| path_balance(&mut nl));
+    assert!(inserted > 0);
+    assert_eq!(tally.dffs_moved, inserted, "every inserted DFF is tallied");
+    assert_eq!(tally.cells, nl.len() as u64);
+    let (_, tally) = counters::counted(|| retime(&mut nl));
+    assert!(
+        tally.cells >= nl.len() as u64,
+        "retime tallies at least one full fixpoint sweep"
+    );
+    assert_eq!(tally.allocs, 0, "passes must not materialize netlists");
+}
+
+#[test]
+fn synthesis_counters_cold_equal_warm() {
+    use sfq_hw::counters;
+    let run = || {
+        counters::counted(|| {
+            let mut nl = sfq_hw::generators::one_hot_mux(16);
+            synthesize(&mut nl);
+            nl.stats().total_jj
+        })
+    };
+    let (jj_cold, cold) = run(); // first run: empty node pool and scratch
+    let (jj_warm, warm) = run(); // second run: pooled buffers in play
+    assert_eq!(
+        jj_cold, jj_warm,
+        "pooling must not change synthesis results"
+    );
+    assert_eq!(cold, warm, "tallies must be pool-state-independent");
+    assert!(cold.cells > 0, "cells examined must be counted");
+    assert_eq!(cold.allocs, 1, "one netlist materialized per run");
+}
